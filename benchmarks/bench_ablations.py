@@ -1,0 +1,49 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.ablations import (
+    domination_ablation,
+    spares_ablation,
+    threshold_ablation,
+)
+
+
+def test_threshold_ablation(benchmark):
+    """Smaller internal thresholds never increase the layer count."""
+    rows = run_once(benchmark, threshold_ablation)
+    layers = [row[2] for row in rows]  # multipliers ascending
+    assert all(a <= b for a, b in zip(layers, layers[1:]))
+    benchmark.extra_info["rows"] = rows
+
+
+def test_spares_ablation(benchmark):
+    """Relay-cut budget decreases as k shrinks (more spare colors)."""
+    rows = run_once(benchmark, spares_ablation)
+    by_chi = {}
+    for chi, k, palette, spares, cuts in rows:
+        by_chi.setdefault(chi, []).append((k, cuts))
+    for chi, pairs in by_chi.items():
+        pairs.sort()
+        cuts = [c for _, c in pairs]
+        # cut budget grows (weakly) with k for fixed chi
+        assert all(a <= b for a, b in zip(cuts, cuts[1:]))
+        # and stays within the worst-case 4k + 5 sizing of the parameters
+        for k, c in pairs:
+            assert c <= 4 * k + 5
+    benchmark.extra_info["rows"] = rows
+
+
+def test_domination_ablation(benchmark):
+    """Random-length instances dissolve under domination removal;
+    unit chains survive nearly intact."""
+    rows = run_once(benchmark, domination_ablation)
+    by_name = {row[0]: row for row in rows}
+    random_row = by_name["random lengths"]
+    unit_row = by_name["unit chain"]
+    # random lengths fragment into many more components than unit chains
+    assert random_row[3] > unit_row[3]
+    # unit chains keep a long component alive
+    assert unit_row[4] >= 20
+    benchmark.extra_info["rows"] = rows

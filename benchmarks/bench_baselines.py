@@ -1,0 +1,61 @@
+"""Experiment B1: the (1 + eps) algorithms vs the classic baselines.
+
+The paper's introduction motivates the work by the gap between maximal
+independent sets / (Delta + 1) colorings (fast, far from optimal) and the
+(1 + eps)-approximations it constructs.  These benchmarks measure both
+sides on the same graphs.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.baselines import luby_mis, sequential_greedy_coloring
+from repro.coloring import color_chordal_graph
+from repro.graphs import caterpillar, num_colors, path_graph, random_chordal_graph
+from repro.mis import chordal_mis, independence_number_chordal
+
+
+def test_luby_vs_algorithm6_on_paths(benchmark):
+    """On long paths Luby lands near 2n/3 points of n/2... of the optimum
+    n/2, while Algorithm 6 gets within (1 + eps)."""
+    g = path_graph(1001)
+
+    def both():
+        ours = chordal_mis(g, 0.3).size()
+        theirs = len(luby_mis(g, seed=0)[0])
+        return ours, theirs
+
+    ours, theirs = run_once(benchmark, both)
+    optimum = 501
+    assert ours * 1.3 >= optimum
+    assert theirs < ours  # the gap the paper closes
+    benchmark.extra_info.update(
+        {"ours": ours, "luby": theirs, "optimum": optimum}
+    )
+
+
+def test_greedy_coloring_vs_algorithm1(benchmark):
+    """Adversarial orders push greedy above chi; Algorithm 1 stays at
+    (1 + eps) chi by construction."""
+    g = random_chordal_graph(200, seed=5, tree_size=200)
+
+    def both():
+        ours = color_chordal_graph(g, epsilon=0.5).num_colors()
+        # adversarial order: descending degree last (greedy worst-ish case)
+        order = sorted(g.vertices(), key=lambda v: g.degree(v))
+        theirs = num_colors(sequential_greedy_coloring(g, order=order))
+        return ours, theirs
+
+    ours, theirs = run_once(benchmark, both)
+    from repro.graphs import clique_number
+
+    chi = clique_number(g)
+    assert ours <= 1.5 * chi
+    benchmark.extra_info.update({"chi": chi, "ours": ours, "greedy": theirs})
+
+
+def test_luby_round_count(benchmark):
+    g = caterpillar(spine=300, legs_per_vertex=1)
+    mis, rounds = run_once(benchmark, luby_mis, g, 1)
+    assert rounds >= 1
+    benchmark.extra_info.update({"luby_rounds": rounds, "size": len(mis)})

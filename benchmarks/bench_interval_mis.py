@@ -1,0 +1,39 @@
+"""Experiments T5/T6 (Theorems 5-6): interval MIS approximation and rounds."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.graphs import is_independent_set, unit_interval_chain
+from repro.localmodel import log_star
+from repro.mis import independence_number_chordal, interval_mis
+
+
+@pytest.mark.parametrize("eps", [0.8, 0.4, 0.2])
+def test_interval_mis_ratio(benchmark, eps):
+    g = unit_interval_chain(400, seed=4)
+    result = run_once(benchmark, interval_mis, g, eps)
+    assert is_independent_set(g, result.independent_set)
+    alpha = independence_number_chordal(g)
+    assert result.size() * (1 + eps) >= alpha
+    benchmark.extra_info.update(
+        {
+            "eps": eps,
+            "alpha": alpha,
+            "size": result.size(),
+            "ratio": round(alpha / max(1, result.size()), 4),
+            "rounds": result.rounds,
+        }
+    )
+
+
+@pytest.mark.parametrize("n", [200, 800, 3200])
+def test_interval_mis_rounds_log_star(benchmark, n):
+    """Rounds grow like log* n at fixed eps: essentially flat in n."""
+    from repro.graphs import path_graph
+
+    g = path_graph(n)
+    result = run_once(benchmark, interval_mis, g, 0.3)
+    assert result.size() * 1.3 >= (n + 1) // 2
+    k_factor = 10  # k = ceil(2.5/0.3 + 0.5) = 9
+    assert result.rounds <= 40 * k_factor * (log_star(n) + 3)
+    benchmark.extra_info.update({"n": n, "rounds": result.rounds})

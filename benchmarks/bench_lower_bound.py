@@ -1,0 +1,35 @@
+"""Experiment T9 (Theorem 9): the Omega(1/eps) round lower bound for MIS."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.lowerbounds import measure_r_round_mis
+
+
+@pytest.mark.parametrize("r", [4, 16, 64])
+def test_lower_bound_density_gap(benchmark, r):
+    sample = run_once(benchmark, measure_r_round_mis, 4000, r, 6, 7)
+    # the r-round rule loses Theta(1/r) density: between 0.2/r and 2/r here
+    assert 0.2 / r <= sample.density_gap <= 2.0 / r
+    benchmark.extra_info.update(
+        {
+            "r": r,
+            "gap": round(sample.density_gap, 5),
+            "r_x_gap": round(r * sample.density_gap, 3),
+            "ratio": round(sample.approximation_ratio, 4),
+        }
+    )
+
+
+def test_gap_halves_when_r_quadruples(benchmark):
+    def sweep():
+        return [
+            measure_r_round_mis(4000, r, trials=6, seed=3).density_gap
+            for r in (8, 32, 128)
+        ]
+
+    gaps = run_once(benchmark, sweep)
+    assert gaps[0] > gaps[1] > gaps[2]
+    assert gaps[1] <= gaps[0] / 1.8
+    assert gaps[2] <= gaps[1] / 1.8
+    benchmark.extra_info["gaps"] = [round(g, 5) for g in gaps]

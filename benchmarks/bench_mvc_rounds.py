@@ -1,0 +1,43 @@
+"""Experiment T4 (Theorem 4): distributed MVC runs in O((1/eps) log n) rounds.
+
+Two sweeps: rounds vs n at fixed eps (growth must track the layer count,
+i.e. log n, times the per-iteration k cost), and rounds vs 1/eps at fixed
+n (growth must be at most linear in k).
+"""
+
+import math
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.coloring import distributed_color_chordal
+from repro.graphs import random_tree
+
+
+@pytest.mark.parametrize("n", [100, 400, 1600])
+def test_rounds_vs_n(benchmark, n):
+    g = random_tree(n, seed=1)
+    report = run_once(benchmark, distributed_color_chordal, g, epsilon=1.0)
+    k = report.result.parameters.k
+    layers = report.result.peeling.num_layers()
+    assert layers <= math.ceil(math.log2(n)) + 1
+    # rounds = layers * collect + coloring + correction chain: O(k log n)
+    per_iteration = report.result.parameters.collect_radius
+    bound = (layers + 2) * (per_iteration + 60 * k + 40)
+    assert report.total_rounds <= bound
+    benchmark.extra_info.update(
+        {"n": n, "layers": layers, "rounds": report.total_rounds}
+    )
+
+
+@pytest.mark.parametrize("eps", [2.0, 1.0, 0.5, 0.25])
+def test_rounds_vs_epsilon(benchmark, eps):
+    g = random_tree(400, seed=2)
+    report = run_once(benchmark, distributed_color_chordal, g, epsilon=eps)
+    k = report.result.parameters.k
+    layers = report.result.peeling.num_layers()
+    # linear in k at fixed n (log n layers fixed-ish)
+    assert report.total_rounds <= 80 * k * (layers + 2) + 500
+    benchmark.extra_info.update(
+        {"eps": eps, "k": k, "rounds": report.total_rounds, "layers": layers}
+    )

@@ -1,0 +1,56 @@
+"""Power-law shape assertions across the experiment sweeps.
+
+Fits measured series to y ~ c x^b and asserts the exponent matches the
+theory: rounds linear in k (Theorem 4's 1/eps axis), lower-bound loss
+inverse in r (Theorem 9), and near-flat rounds in n for the interval MIS
+(Theorem 6's log* n).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.fitting import power_law_exponent
+from repro.coloring import distributed_color_chordal
+from repro.graphs import path_graph, random_tree
+from repro.lowerbounds import measure_r_round_mis
+from repro.mis import interval_mis
+
+
+def test_mvc_rounds_linear_in_k(benchmark):
+    g = random_tree(300, seed=5)
+
+    def sweep():
+        ks = [1, 2, 4, 8, 16]
+        rounds = [distributed_color_chordal(g, k=k).total_rounds for k in ks]
+        return ks, rounds
+
+    ks, rounds = run_once(benchmark, sweep)
+    exponent = power_law_exponent(ks, rounds)
+    assert 0.3 <= exponent <= 1.2, f"rounds ~ k^{exponent:.2f}"
+    benchmark.extra_info["exponent"] = round(exponent, 3)
+
+
+def test_lower_bound_gap_inverse_in_r(benchmark):
+    def sweep():
+        rs = [4, 8, 16, 32, 64, 128]
+        gaps = [
+            measure_r_round_mis(4000, r, trials=6, seed=1).density_gap for r in rs
+        ]
+        return rs, gaps
+
+    rs, gaps = run_once(benchmark, sweep)
+    exponent = power_law_exponent(rs, gaps)
+    assert -1.25 <= exponent <= -0.7, f"gap ~ r^{exponent:.2f}"
+    benchmark.extra_info["exponent"] = round(exponent, 3)
+
+
+def test_interval_mis_rounds_sublinear_in_n(benchmark):
+    def sweep():
+        ns = [200, 800, 3200]
+        rounds = [interval_mis(path_graph(n), 0.3).rounds for n in ns]
+        return ns, rounds
+
+    ns, rounds = run_once(benchmark, sweep)
+    exponent = power_law_exponent(ns, rounds)
+    assert exponent <= 0.25, f"rounds ~ n^{exponent:.2f} (should be ~log*)"
+    benchmark.extra_info["exponent"] = round(exponent, 3)

@@ -1,0 +1,64 @@
+"""Substrate microbenchmarks: the primitives everything else builds on.
+
+Not tied to a single paper claim; they keep the library honest about the
+asymptotics of its own machinery (LexBFS, maximal cliques, clique forest
+construction, local views, Linial coloring) so regressions in the
+foundations show up before they distort the experiment tables.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.cliquetree import build_clique_forest, compute_local_view
+from repro.graphs import (
+    lex_bfs,
+    maximal_cliques,
+    perfect_elimination_ordering,
+    random_chordal_graph,
+    triangulate,
+)
+from repro.localmodel import three_color_path
+
+
+@pytest.mark.parametrize("n", [200, 800])
+def test_lexbfs(benchmark, n):
+    g = random_chordal_graph(n, seed=1, tree_size=n)
+    order = run_once(benchmark, lex_bfs, g)
+    assert len(order) == len(g)
+
+
+@pytest.mark.parametrize("n", [200, 800])
+def test_maximal_cliques(benchmark, n):
+    g = random_chordal_graph(n, seed=1, tree_size=n)
+    cliques = run_once(benchmark, maximal_cliques, g)
+    assert 1 <= len(cliques) <= len(g)
+
+
+@pytest.mark.parametrize("n", [200, 800])
+def test_clique_forest(benchmark, n):
+    g = random_chordal_graph(n, seed=1, tree_size=n)
+    forest = run_once(benchmark, build_clique_forest, g)
+    assert forest.is_valid_decomposition(g)
+
+
+def test_local_view(benchmark):
+    g = random_chordal_graph(400, seed=2, tree_size=400)
+    v = g.vertices()[0]
+    view = run_once(benchmark, compute_local_view, g, v, 6)
+    assert view.forest.num_cliques() >= 1
+
+
+def test_linial_three_coloring(benchmark):
+    ids = [i * 7919 % 100_003 for i in range(3000)]
+    colors, rounds = run_once(benchmark, three_color_path, ids)
+    assert set(colors.values()) <= {1, 2, 3}
+    benchmark.extra_info["rounds"] = rounds
+
+
+def test_min_fill_triangulation(benchmark):
+    from tests.graphs.test_triangulation import random_graph
+
+    g = random_graph(80, 0.06, seed=5)
+    tri = run_once(benchmark, triangulate, g)
+    assert tri.width >= 1
+    benchmark.extra_info["fill"] = len(tri.fill_edges)

@@ -1,0 +1,15 @@
+"""Benchmark-suite configuration.
+
+Every benchmark reproduces one experiment of DESIGN.md's per-experiment
+index and asserts the paper-shaped property (approximation bound, round
+scaling, structural identity) in addition to timing the run.  Key measured
+quantities are attached as ``benchmark.extra_info`` so they appear in the
+pytest-benchmark JSON output.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time ``fn`` with a single warm run (experiments are deterministic)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

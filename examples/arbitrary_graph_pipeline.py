@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""From an arbitrary graph to verified (1 + eps) solutions via triangulation.
+
+The paper's algorithms need chordal inputs.  Real conflict graphs rarely
+are -- but any graph embeds in a chordal completion, and a proper coloring
+of the completion is proper for the original (the completion only *adds*
+constraints).  This example:
+
+1. builds a sparse random graph (a noisy overlay network),
+2. triangulates it with the min-fill heuristic (reporting fill-in and the
+   treewidth bound),
+3. runs Algorithm 1 on the completion and reuses the coloring,
+4. runs Algorithm 6 on the completion; its independent set is independent
+   in the original too (fewer edges there), though the (1 + eps) guarantee
+   now refers to the completion's alpha,
+5. verifies everything with repro.verify.
+
+    python examples/arbitrary_graph_pipeline.py
+"""
+
+import random
+
+from repro.analysis import format_table
+from repro.coloring import color_chordal_graph
+from repro.graphs import (
+    Graph,
+    assert_independent_set,
+    assert_proper_coloring,
+    clique_number,
+    treewidth_chordal,
+    triangulate,
+)
+from repro.mis import chordal_mis
+from repro.verify import verify_coloring_run, verify_mis_run
+
+
+def noisy_overlay(n=120, extra_edges=35, seed=9):
+    """A random tree backbone plus random long-range links (not chordal)."""
+    rng = random.Random(seed)
+    g = Graph(vertices=range(n))
+    for v in range(1, n):
+        g.add_edge(v, rng.randrange(v))
+    added = 0
+    while added < extra_edges:
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v and not g.has_edge(u, v):
+            g.add_edge(u, v)
+            added += 1
+    return g
+
+
+def main():
+    g = noisy_overlay()
+    tri = triangulate(g, "min_fill")
+    h = tri.chordal_graph
+    print(
+        f"input: {len(g)} nodes, {g.num_edges()} edges (non-chordal overlay)"
+    )
+    print(
+        f"min-fill triangulation: +{len(tri.fill_edges)} fill edges, "
+        f"treewidth <= {tri.treewidth_bound} "
+        f"(exact on completion: {treewidth_chordal(h)})\n"
+    )
+
+    coloring = color_chordal_graph(h, epsilon=0.5)
+    assert_proper_coloring(g, coloring.coloring)  # valid for the original
+    report_c = verify_coloring_run(h, coloring)
+    report_c.raise_if_failed()
+
+    mis = chordal_mis(h, 0.4)
+    assert_independent_set(g, mis.independent_set)
+    report_m = verify_mis_run(h, mis)
+    report_m.raise_if_failed()
+
+    rows = [
+        ("coloring (Algorithm 1, eps=0.5)", coloring.num_colors(),
+         f"chi(completion) = {clique_number(h)}"),
+        ("independent set (Algorithm 6, eps=0.4)", mis.size(),
+         f"guarantee vs completion's alpha"),
+    ]
+    print(format_table(["pipeline stage", "value", "reference"], rows))
+    print("\nverification (coloring):")
+    print(report_c.summary())
+    print("\nverification (independent set):")
+    print(report_m.summary())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Frequency assignment on a highway sensor chain (interval graph MVC).
+
+A classic motivation for distributed interval coloring: roadside units
+along a highway each cover a stretch of road; overlapping units interfere
+and need distinct frequencies.  Coverage stretches are intervals, the
+conflict graph is an interval graph, and the number of frequencies should
+stay close to the clique number chi (the worst local congestion).
+
+This example builds a long, uneven highway deployment, runs ColIntGraph
+(the paper's [21] subroutine, Section 2) at several eps values, and
+compares against the (Delta + 1) bound a naive assignment would need.
+
+    python examples/frequency_assignment.py
+"""
+
+import random
+
+from repro.analysis import format_table
+from repro.cliquetree import clique_paths_of_interval_graph
+from repro.coloring import PathBags, col_int_graph
+from repro.graphs import (
+    assert_proper_coloring,
+    interval_graph_from_intervals,
+)
+
+
+def build_highway(n_units=400, seed=2026):
+    """Roadside units with bursty density: dense near 'interchanges'."""
+    rng = random.Random(seed)
+    intervals = {}
+    position = 0.0
+    for unit in range(n_units):
+        if rng.random() < 0.08:
+            position += rng.uniform(2.0, 6.0)  # gap between clusters
+        coverage = rng.uniform(0.8, 3.5)
+        intervals[unit] = (position, position + coverage)
+        position += rng.uniform(0.05, 0.8)
+    return interval_graph_from_intervals(intervals)
+
+
+def main():
+    graph = build_highway()
+    paths = clique_paths_of_interval_graph(graph)
+    chi = max(PathBags(p).max_bag_size() for p in paths)
+    delta = graph.max_degree()
+
+    print(f"highway deployment: {len(graph)} units, "
+          f"{graph.num_edges()} interference pairs")
+    print(f"worst local congestion chi = {chi}, "
+          f"max degree Delta = {delta} (naive bound {delta + 1})\n")
+
+    rows = []
+    for k in (1, 2, 4, 8):
+        result = col_int_graph(graph, k)
+        assert_proper_coloring(graph, result.coloring)
+        bound = chi + chi // k + 1
+        rows.append(
+            (f"1/{k}", result.num_colors(), bound, result.rounds)
+        )
+    print(format_table(
+        ["eps'=1/k", "frequencies", "guarantee", "LOCAL rounds"], rows
+    ))
+    print("\nEvery assignment verified interference-free.")
+    print("Takeaway: frequencies track chi, not Delta, and the round cost")
+    print("grows only with 1/eps (plus a log* term), as Theorem 6 of the")
+    print("cited subroutine promises.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Parallel update scheduling on a junction tree (chordal MVC + MIS).
+
+The paper motivates chordal graphs through belief propagation: inference
+engines triangulate a Bayesian network into a chordal graph whose maximal
+cliques form a junction tree.  Two scheduling problems appear naturally:
+
+* **Round-robin schedules** -- group the moralized variables so that no
+  two interacting variables update simultaneously: a vertex coloring,
+  where the number of groups is the schedule length (Algorithm 1).
+* **One-shot parallel batches** -- the largest set of variables updatable
+  at once: a maximum independent set (Algorithm 6).
+
+This example builds a synthetic triangulated network (a random subtree
+intersection graph, the general chordal model), runs both distributed
+algorithms, and compares against Luby's maximal-IS baseline, which gets
+stuck well below the optimum.
+
+    python examples/junction_tree_scheduling.py
+"""
+
+from repro.analysis import format_table
+from repro.baselines import luby_mis, sequential_greedy_coloring
+from repro.coloring import distributed_color_chordal
+from repro.graphs import (
+    assert_independent_set,
+    assert_proper_coloring,
+    clique_number,
+    num_colors,
+    random_chordal_graph,
+)
+from repro.mis import chordal_mis, independence_number_chordal
+
+
+def main():
+    graph = random_chordal_graph(300, seed=11, tree_size=260, subtree_radius=2)
+    chi = clique_number(graph)
+    alpha = independence_number_chordal(graph)
+    print(f"triangulated network: {len(graph)} variables, "
+          f"{graph.num_edges()} interactions, chi = {chi}, alpha = {alpha}\n")
+
+    # Schedule length: ours vs naive greedy.
+    report = distributed_color_chordal(graph, epsilon=0.5)
+    assert_proper_coloring(graph, report.coloring)
+    greedy = sequential_greedy_coloring(graph)
+    rows = [
+        ("Algorithm 1 (eps=0.5)", report.num_colors(),
+         f"<= {1.5 * chi:.0f}", report.total_rounds),
+        ("sequential greedy", num_colors(greedy), f"<= {graph.max_degree() + 1}", "-"),
+    ]
+    print("Round-robin schedule length (colors):")
+    print(format_table(["method", "groups", "bound", "LOCAL rounds"], rows))
+
+    # One-shot batch size: ours vs Luby.
+    ours = chordal_mis(graph, 0.4)
+    assert_independent_set(graph, ours.independent_set)
+    luby_sets = [luby_mis(graph, seed=s) for s in range(3)]
+    best_luby = max(len(s) for s, _ in luby_sets)
+    rows = [
+        ("Algorithm 6 (eps=0.4)", ours.size(), f">= {alpha / 1.4:.0f}", ours.rounds),
+        ("Luby maximal IS (best of 3)", best_luby, "maximal only",
+         max(r for _, r in luby_sets)),
+        ("optimum (Gavril, sequential)", alpha, "-", "-"),
+    ]
+    print("\nOne-shot parallel batch size (independent set):")
+    print(format_table(["method", "batch", "guarantee", "rounds"], rows))
+
+    gain = (ours.size() - best_luby) / max(1, best_luby) * 100.0
+    print(f"\nAlgorithm 6 schedules {gain:.0f}% more simultaneous updates "
+          f"than the maximal-IS baseline.")
+
+
+if __name__ == "__main__":
+    main()

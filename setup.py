@@ -1,0 +1,8 @@
+"""Legacy entry point so `pip install -e .` works without the `wheel` package.
+
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

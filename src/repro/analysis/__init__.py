@@ -1,0 +1,28 @@
+"""Experiment runners and table formatting (see EXPERIMENTS.md)."""
+
+from .experiments import (
+    GRAPH_FAMILIES,
+    baseline_rows,
+    chordal_mis_rows,
+    interval_mis_rows,
+    lower_bound_rows,
+    mvc_approximation_rows,
+    mvc_rounds_rows,
+    mvc_rounds_vs_epsilon_rows,
+    pruning_rows,
+)
+from .tables import format_table, format_value
+
+__all__ = [
+    "GRAPH_FAMILIES",
+    "baseline_rows",
+    "chordal_mis_rows",
+    "interval_mis_rows",
+    "lower_bound_rows",
+    "mvc_approximation_rows",
+    "mvc_rounds_rows",
+    "mvc_rounds_vs_epsilon_rows",
+    "pruning_rows",
+    "format_table",
+    "format_value",
+]

@@ -1,0 +1,107 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Three knobs materially shape the pipelines; each ablation isolates one:
+
+* **internal-path diameter threshold** (Algorithm 1's ``3k``): smaller
+  thresholds peel more aggressively per iteration (fewer layers, fewer
+  collection rounds) but shrink the recoloring room; the coloring quality
+  is unaffected as long as the threshold stays above the morph's needs.
+  :func:`threshold_ablation` sweeps multipliers of the default.
+
+* **spare colors for the morph** (the palette's q - chi): more spares cut
+  the number of relay cuts (and hence the required boundary distance)
+  linearly.  :func:`spares_ablation` reports
+  :func:`repro.coloring.parameters.morph_cut_budget` across the spare
+  range the global palette can actually afford.
+
+* **dominated-vertex removal** (Algorithm 5's step 1): measures how much
+  of each interval instance the purely-local step already solves -- the
+  fragmentation observation recorded in EXPERIMENTS.md.
+  :func:`domination_ablation` reports survivor counts and component
+  diameters before/after.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..coloring.chordal_mvc import color_chordal_graph
+from ..coloring.parameters import ColoringParameters, morph_cut_budget
+from ..coloring.prune import diameter_rule, peel_chordal_graph
+from ..graphs import (
+    Graph,
+    random_chordal_graph,
+    random_connected_interval_graph,
+    remove_dominated_vertices,
+    unit_interval_chain,
+)
+
+__all__ = ["threshold_ablation", "spares_ablation", "domination_ablation"]
+
+
+def threshold_ablation(
+    multipliers: Sequence[float] = (0.25, 0.5, 1.0, 2.0),
+    n: int = 300,
+    k: int = 2,
+    seed: int = 0,
+) -> List[Tuple]:
+    """Layers and pruning rounds as the internal threshold varies.
+
+    The approximation guarantee needs the *default* threshold; smaller
+    multipliers are measured for structure only (layer counts), showing
+    the peeling-speed/recoloring-room tradeoff.
+    """
+    params = ColoringParameters.from_k(k)
+    g = random_chordal_graph(n, seed=seed, tree_size=n)
+    rows = []
+    for mult in multipliers:
+        threshold = max(4, int(params.internal_threshold * mult))
+        peeling = peel_chordal_graph(g, internal_rule=diameter_rule(threshold))
+        rows.append(
+            (
+                mult,
+                threshold,
+                peeling.num_layers(),
+                peeling.num_layers() * params.collect_radius,
+            )
+        )
+    return rows
+
+
+def spares_ablation(
+    chi_values: Sequence[int] = (4, 16, 64),
+    k_values: Sequence[int] = (1, 2, 4, 8),
+) -> List[Tuple]:
+    """Relay cuts needed by the morph as spare colors vary with k."""
+    rows = []
+    for chi in chi_values:
+        for k in k_values:
+            params = ColoringParameters.from_k(k)
+            spares = params.minimum_spares(chi)
+            rows.append(
+                (chi, k, params.palette_size(chi), spares, morph_cut_budget(chi, spares))
+            )
+    return rows
+
+
+def domination_ablation(
+    n: int = 300, seeds: Sequence[int] = (0, 1, 2)
+) -> List[Tuple]:
+    """How much of each interval family step 1 of Algorithm 5 dissolves."""
+    rows = []
+    families = {
+        "random lengths": lambda s: random_connected_interval_graph(n, seed=s),
+        "unit chain": lambda s: unit_interval_chain(n, seed=s),
+    }
+    for name, make in families.items():
+        for seed in seeds[:1]:
+            g = make(seed)
+            h = remove_dominated_vertices(g)
+            comps = h.connected_components()
+            max_diam = max(
+                (h.induced_subgraph(c).diameter() for c in comps), default=0
+            )
+            rows.append(
+                (name, len(g), len(h), len(comps), max_diam)
+            )
+    return rows

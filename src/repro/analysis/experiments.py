@@ -1,0 +1,210 @@
+"""Experiment runners behind EXPERIMENTS.md.
+
+Each function reproduces one quantitative claim of the paper (the
+per-experiment index lives in DESIGN.md) and returns plain rows; the
+benchmarks time them and the examples print them with
+:func:`repro.analysis.tables.format_table`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..baselines import luby_mis, sequential_greedy_coloring
+from ..coloring import color_chordal_graph, distributed_color_chordal
+from ..graphs import (
+    Graph,
+    clique_number,
+    num_colors,
+    random_chordal_graph,
+    random_connected_interval_graph,
+    random_interval_graph,
+    random_k_tree,
+    random_tree,
+    unit_interval_chain,
+)
+from ..lowerbounds import measure_r_round_mis
+from ..mis import (
+    chordal_mis,
+    independence_number_chordal,
+    interval_mis,
+    maximum_independent_set_chordal,
+)
+
+__all__ = [
+    "GRAPH_FAMILIES",
+    "mvc_approximation_rows",
+    "mvc_rounds_rows",
+    "mvc_rounds_vs_epsilon_rows",
+    "interval_mis_rows",
+    "chordal_mis_rows",
+    "lower_bound_rows",
+    "baseline_rows",
+    "pruning_rows",
+]
+
+#: name -> generator(n, seed); the families every sweep runs over.
+GRAPH_FAMILIES: Dict[str, Callable[[int, int], Graph]] = {
+    "tree": lambda n, seed: random_tree(n, seed=seed),
+    "interval": lambda n, seed: random_interval_graph(n, seed=seed, max_length=0.05),
+    "k-tree(3)": lambda n, seed: random_k_tree(n, 3, seed=seed),
+    "chordal": lambda n, seed: random_chordal_graph(n, seed=seed, tree_size=n),
+}
+
+
+def mvc_approximation_rows(
+    eps_values: Sequence[float] = (1.0, 0.5, 0.25),
+    n: int = 150,
+    seeds: Sequence[int] = (0, 1, 2),
+) -> List[Tuple]:
+    """Theorem 3: measured colors vs the (1 + eps) chi bound, per family."""
+    rows = []
+    for family, make in GRAPH_FAMILIES.items():
+        for eps in eps_values:
+            worst = 0.0
+            chi = 0
+            colors = 0
+            for seed in seeds:
+                g = make(n, seed)
+                result = color_chordal_graph(g, epsilon=eps)
+                ratio = result.approximation_ratio()
+                if ratio >= worst:
+                    worst, chi, colors = ratio, result.chi, result.num_colors()
+            rows.append((family, eps, chi, colors, worst, 1.0 + eps))
+    return rows
+
+
+def mvc_rounds_rows(
+    ns: Sequence[int] = (100, 200, 400, 800),
+    epsilon: float = 1.0,
+    family: str = "tree",
+    seed: int = 0,
+) -> List[Tuple]:
+    """Theorem 4: distributed rounds vs n at fixed eps (O((1/eps) log n))."""
+    make = GRAPH_FAMILIES[family]
+    rows = []
+    for n in ns:
+        g = make(n, seed)
+        report = distributed_color_chordal(g, epsilon=epsilon)
+        layers = report.result.peeling.num_layers()
+        rows.append((n, layers, report.pruning_rounds, report.total_rounds))
+    return rows
+
+
+def mvc_rounds_vs_epsilon_rows(
+    eps_values: Sequence[float] = (2.0, 1.0, 0.5, 0.25),
+    n: int = 300,
+    family: str = "tree",
+    seed: int = 0,
+) -> List[Tuple]:
+    """Theorem 4, other axis: rounds vs 1/eps at fixed n."""
+    make = GRAPH_FAMILIES[family]
+    g = make(n, seed)
+    rows = []
+    for eps in eps_values:
+        report = distributed_color_chordal(g, epsilon=eps)
+        rows.append(
+            (eps, report.result.parameters.k, report.total_rounds, report.num_colors())
+        )
+    return rows
+
+
+def interval_mis_rows(
+    eps_values: Sequence[float] = (0.8, 0.4, 0.2),
+    n: int = 300,
+    seeds: Sequence[int] = (0, 1, 2),
+) -> List[Tuple]:
+    """Theorems 5-6: interval MIS size vs alpha, and rounds."""
+    rows = []
+    for eps in eps_values:
+        worst_ratio = 1.0
+        rounds = 0
+        for seed in seeds:
+            g = unit_interval_chain(n, seed=seed)
+            result = interval_mis(g, eps)
+            alpha = independence_number_chordal(g)
+            ratio = alpha / max(1, result.size())
+            worst_ratio = max(worst_ratio, ratio)
+            rounds = max(rounds, result.rounds)
+        rows.append((eps, worst_ratio, 1.0 + eps, rounds))
+    return rows
+
+
+def chordal_mis_rows(
+    eps_values: Sequence[float] = (0.45, 0.3, 0.2),
+    n: int = 150,
+    seeds: Sequence[int] = (0, 1),
+) -> List[Tuple]:
+    """Theorems 7-8: chordal MIS size vs alpha, per family."""
+    rows = []
+    for family, make in GRAPH_FAMILIES.items():
+        for eps in eps_values:
+            worst_ratio = 1.0
+            rounds = 0
+            for seed in seeds:
+                g = make(n, seed)
+                result = chordal_mis(g, eps)
+                alpha = independence_number_chordal(g)
+                ratio = alpha / max(1, result.size())
+                worst_ratio = max(worst_ratio, ratio)
+                rounds = max(rounds, result.rounds)
+            rows.append((family, eps, worst_ratio, 1.0 + eps, rounds))
+    return rows
+
+
+def lower_bound_rows(
+    r_values: Sequence[int] = (4, 8, 16, 32, 64),
+    n: int = 4000,
+    trials: int = 8,
+    seed: int = 0,
+) -> List[Tuple]:
+    """Theorem 9: density gap of the r-round rule, expected ~1/r decay."""
+    rows = []
+    for r in r_values:
+        sample = measure_r_round_mis(n, r, trials=trials, seed=seed)
+        rows.append(
+            (r, sample.mean_size, sample.optimum, sample.density_gap, r * sample.density_gap)
+        )
+    return rows
+
+
+def baseline_rows(
+    n: int = 200, seeds: Sequence[int] = (0, 1, 2)
+) -> List[Tuple]:
+    """Motivating comparison: (1 + eps) algorithms vs classic baselines."""
+    rows = []
+    for family, make in GRAPH_FAMILIES.items():
+        for seed in seeds[:1]:
+            g = make(n, seed)
+            chi = clique_number(g)
+            alpha = independence_number_chordal(g)
+            greedy = num_colors(sequential_greedy_coloring(g))
+            ours_col = color_chordal_graph(g, epsilon=0.5).num_colors()
+            luby_size = len(luby_mis(g, seed=seed)[0])
+            ours_mis = chordal_mis(g, 0.45).size()
+            rows.append(
+                (family, chi, greedy, ours_col, alpha, luby_size, ours_mis)
+            )
+    return rows
+
+
+def pruning_rows(
+    ns: Sequence[int] = (50, 100, 200, 400, 800),
+    family: str = "chordal",
+    seed: int = 0,
+) -> List[Tuple]:
+    """Lemma 6: number of peeling layers vs the ceil(log2 n) bound."""
+    import math
+
+    from ..coloring import diameter_rule, peel_chordal_graph
+
+    make = GRAPH_FAMILIES[family]
+    rows = []
+    for n in ns:
+        g = make(n, seed)
+        peeling = peel_chordal_graph(g, internal_rule=diameter_rule(4))
+        rows.append(
+            (n, peeling.num_layers(), math.ceil(math.log2(max(2, len(g)))) + 1)
+        )
+    return rows

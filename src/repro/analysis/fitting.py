@@ -1,0 +1,38 @@
+"""Scaling-law fits for the shape assertions of the benchmarks.
+
+The paper's claims are asymptotic; the benchmarks verify their *shape* by
+fitting power laws to measured series.  :func:`power_law_exponent` returns
+the least-squares slope of log y against log x -- e.g. the lower-bound
+density gap should fit exponent ~ -1 in r, and distributed-MVC rounds
+should fit exponent ~ 1 in k at fixed n.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+__all__ = ["power_law_exponent", "linear_fit"]
+
+
+def linear_fit(xs: Sequence[float], ys: Sequence[float]) -> Tuple[float, float]:
+    """Least-squares (slope, intercept) of y against x."""
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need at least two matching points")
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    if var_x == 0:
+        raise ValueError("x values are all equal")
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    slope = cov / var_x
+    return slope, mean_y - slope * mean_x
+
+
+def power_law_exponent(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """The exponent b of the best fit y ~ c * x^b (log-log regression)."""
+    if any(x <= 0 for x in xs) or any(y <= 0 for y in ys):
+        raise ValueError("power-law fitting needs positive data")
+    slope, _ = linear_fit([math.log(x) for x in xs], [math.log(y) for y in ys])
+    return slope

@@ -1,0 +1,102 @@
+"""Regenerate every experiment table of EXPERIMENTS.md.
+
+Run as a module::
+
+    python -m repro.analysis.report           # all experiments
+    python -m repro.analysis.report T4 T9     # a subset by id
+
+Each section corresponds to one entry of DESIGN.md's per-experiment index
+and prints the same rows EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Dict, List, Tuple
+
+from .experiments import (
+    baseline_rows,
+    chordal_mis_rows,
+    interval_mis_rows,
+    lower_bound_rows,
+    mvc_approximation_rows,
+    mvc_rounds_rows,
+    mvc_rounds_vs_epsilon_rows,
+    pruning_rows,
+)
+from .tables import format_table
+
+__all__ = ["EXPERIMENTS", "run_report"]
+
+
+def _t3() -> str:
+    rows = mvc_approximation_rows()
+    return format_table(
+        ["family", "eps", "chi", "colors", "worst ratio", "bound 1+eps"], rows
+    )
+
+
+def _t4() -> str:
+    a = format_table(
+        ["n", "layers", "pruning rounds", "total rounds"],
+        mvc_rounds_rows(),
+    )
+    b = format_table(
+        ["eps", "k", "total rounds", "colors"],
+        mvc_rounds_vs_epsilon_rows(),
+    )
+    return a + "\n\n(rounds vs eps at n = 300, random trees)\n\n" + b
+
+
+def _t56() -> str:
+    return format_table(
+        ["eps", "worst alpha/|I|", "bound 1+eps", "rounds"], interval_mis_rows()
+    )
+
+
+def _t78() -> str:
+    return format_table(
+        ["family", "eps", "worst alpha/|I|", "bound 1+eps", "rounds"],
+        chordal_mis_rows(),
+    )
+
+
+def _t9() -> str:
+    return format_table(
+        ["r", "E|I|", "optimum", "density gap", "r x gap"], lower_bound_rows()
+    )
+
+
+def _l6() -> str:
+    return format_table(["n", "layers", "ceil(log2 n) + 1"], pruning_rows())
+
+
+def _b1() -> str:
+    return format_table(
+        ["family", "chi", "greedy colors", "our colors", "alpha", "Luby |I|", "our |I|"],
+        baseline_rows(),
+    )
+
+
+EXPERIMENTS: Dict[str, Tuple[str, Callable[[], str]]] = {
+    "T3": ("Theorem 3: MVC approximation factor (Algorithm 1)", _t3),
+    "T4": ("Theorem 4: distributed MVC round complexity", _t4),
+    "T5/T6": ("Theorems 5-6: interval MIS (Algorithm 5)", _t56),
+    "T7/T8": ("Theorems 7-8: chordal MIS (Algorithm 6)", _t78),
+    "T9": ("Theorem 9: Omega(1/eps) lower bound shape", _t9),
+    "L6": ("Lemma 6: peeling layer count vs log n", _l6),
+    "B1": ("Baselines: maximal-IS / greedy coloring gaps", _b1),
+}
+
+
+def run_report(ids: List[str]) -> str:
+    chunks = []
+    for key, (title, fn) in EXPERIMENTS.items():
+        if ids and key not in ids:
+            continue
+        chunks.append(f"== {key}: {title} ==\n\n{fn()}\n")
+    return "\n".join(chunks)
+
+
+if __name__ == "__main__":
+    print(run_report(sys.argv[1:]))

@@ -1,0 +1,22 @@
+"""Baseline algorithms the paper compares against conceptually.
+
+Luby's randomized maximal independent set [27] and (Delta + 1)-coloring
+(sequential greedy and its randomized distributed counterpart): fast but
+far from optimal on chordal graphs, which is the approximation gap the
+paper's (1 + eps)-algorithms close.
+"""
+
+from .coloring_baselines import (
+    RandomizedColoringProgram,
+    distributed_delta_plus_one,
+    sequential_greedy_coloring,
+)
+from .luby import LubyMISProgram, luby_mis
+
+__all__ = [
+    "RandomizedColoringProgram",
+    "distributed_delta_plus_one",
+    "sequential_greedy_coloring",
+    "LubyMISProgram",
+    "luby_mis",
+]

@@ -1,0 +1,64 @@
+"""Clique forests of chordal graphs (Section 3 of the paper).
+
+Provides the weighted clique intersection graph W_G, the canonical maximum
+weight spanning forest under the paper's deterministic edge order ``<``
+(Theorem 2), the resulting :class:`~repro.cliquetree.forest.CliqueForest`
+with subtree queries, binary/pendant/internal path machinery for the
+peeling process (Section 2, Lemmas 3-6), and the local-view construction
+that lets simulated network nodes reconstruct coherent fragments of the
+global forest (Lemma 2, Figures 3-4).
+"""
+
+from .cliquepath import (
+    NotIntervalError,
+    clique_paths_of_interval_graph,
+    consecutive_clique_arrangement,
+    is_interval_graph,
+)
+from .forest import CliqueForest, build_clique_forest
+from .local_view import LocalView, compute_local_view, local_cliques_of
+from .paths import (
+    ForestPath,
+    greedy_path_mis,
+    maximal_binary_paths,
+    nodes_with_subtree_in,
+    path_diameter,
+    path_independence_number,
+    path_vertices,
+)
+from .spanning import UnionFind, maximum_weight_spanning_forest
+from .wcig import (
+    Clique,
+    WeightedEdge,
+    edge_key,
+    sigma,
+    wcig_edges_among,
+    weighted_clique_intersection_edges,
+)
+
+__all__ = [
+    "CliqueForest",
+    "build_clique_forest",
+    "NotIntervalError",
+    "clique_paths_of_interval_graph",
+    "consecutive_clique_arrangement",
+    "is_interval_graph",
+    "LocalView",
+    "compute_local_view",
+    "local_cliques_of",
+    "ForestPath",
+    "greedy_path_mis",
+    "maximal_binary_paths",
+    "nodes_with_subtree_in",
+    "path_diameter",
+    "path_independence_number",
+    "path_vertices",
+    "UnionFind",
+    "maximum_weight_spanning_forest",
+    "Clique",
+    "WeightedEdge",
+    "edge_key",
+    "sigma",
+    "wcig_edges_among",
+    "weighted_clique_intersection_edges",
+]

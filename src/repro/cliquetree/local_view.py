@@ -1,0 +1,102 @@
+"""Local views of the clique forest (Section 3, Figures 3-4).
+
+A network node v that knows its distance-d neighborhood can reconstruct the
+part of the *global* clique forest around itself:
+
+1. For every u in Gamma^{d-1}[v], node v knows all of Gamma[u], so it can
+   compute phi(u) -- the maximal cliques of G containing u -- locally (a
+   maximal clique containing u lies inside Gamma[u]).
+2. By Lemma 2, the unique maximum weight spanning forest of W_G[phi(u)]
+   equals the subtree T(u) of the global clique forest, because phi(u)
+   induces a tree in T and the order ``<`` is defined by globally
+   consistent data (clique members and intersection sizes).
+3. The union of these subtrees over u in Gamma^{d-1}[v] is a coherent
+   fragment T' of T.
+
+:class:`LocalView` packages the fragment together with what the node can
+*certify* about it: a clique C's degree in T is fully visible only when all
+of C lies within Gamma^{d-1}[v] (every T-edge at C is witnessed by a shared
+node, which then computes it in step 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..graphs.adjacency import Graph, Vertex
+from ..graphs.chordal import maximal_cliques
+from .forest import CliqueForest
+from .spanning import maximum_weight_spanning_forest
+from .wcig import Clique, wcig_edges_among
+
+__all__ = ["LocalView", "local_cliques_of", "compute_local_view"]
+
+
+def local_cliques_of(ball: Graph, u: Vertex) -> List[Clique]:
+    """phi(u) computed from a ball that contains all of Gamma[u].
+
+    The maximal cliques of G containing u are exactly the maximal cliques
+    of G[Gamma[u]] containing u, and Gamma_G[u] is fully inside the ball by
+    the caller's contract, so this is computable locally.
+    """
+    closed = ball.closed_neighborhood(u)
+    sub = ball.induced_subgraph(closed)
+    return [c for c in maximal_cliques(sub) if u in c]
+
+
+@dataclass
+class LocalView:
+    """What node ``center`` sees of the global clique forest.
+
+    ``forest`` is the reconstructed fragment T'.  ``confirmed`` holds the
+    cliques whose T-degree is fully visible in the fragment; the degree of
+    an unconfirmed clique in ``forest`` is only a lower bound on its true
+    degree.  ``interior`` holds the nodes u whose complete subtree T(u) is
+    part of the fragment (those in Gamma^{d-1}[center]).
+    """
+
+    center: Vertex
+    radius: int
+    forest: CliqueForest
+    confirmed: Set[Clique]
+    interior: Set[Vertex]
+
+    def degree_is_exact(self, clique: Clique) -> bool:
+        return frozenset(clique) in self.confirmed
+
+
+def compute_local_view(graph: Graph, center: Vertex, radius: int) -> LocalView:
+    """Simulate node ``center`` building its local view from Gamma^radius.
+
+    ``graph`` plays the role of the current graph (G, or G[U_i] during
+    peeling); the function only ever inspects the induced ball, mirroring
+    what the LOCAL model makes available after ``radius`` rounds.
+    """
+    if radius < 1:
+        raise ValueError("a local view needs radius >= 1")
+    dist = graph.bfs_distances(center, cutoff=radius)
+    ball = graph.induced_subgraph(set(dist))
+    interior = {u for u, d in dist.items() if d <= radius - 1}
+
+    cliques: Set[Clique] = set()
+    edges: Set[Tuple[Clique, Clique]] = set()
+    for u in sorted(interior):
+        phi_u = local_cliques_of(ball, u)
+        cliques.update(phi_u)
+        forest_edges = maximum_weight_spanning_forest(
+            sorted(phi_u, key=lambda c: tuple(sorted(c))), wcig_edges_among(phi_u)
+        )
+        for c1, c2 in forest_edges:
+            key = tuple(sorted((tuple(sorted(c1)), tuple(sorted(c2)))))
+            edges.add((frozenset(key[0]), frozenset(key[1])))
+
+    forest = CliqueForest(cliques, edges)
+    confirmed = {c for c in cliques if c <= interior}
+    return LocalView(
+        center=center,
+        radius=radius,
+        forest=forest,
+        confirmed=confirmed,
+        interior=interior,
+    )

@@ -1,0 +1,66 @@
+"""The weighted clique intersection graph W_G and the edge order ``<``.
+
+Section 3 of the paper: with a chordal graph G we associate W_G, whose
+vertices are the maximal cliques of G and where cliques with a nonempty
+intersection are joined by an edge of weight |C1 cap C2|.  By Theorem 2
+[Bernstein & Goodman], the clique forests of G are exactly the maximum
+weight spanning forests of W_G.
+
+Because W_G may have many maximum weight spanning forests, the paper fixes a
+canonical one by linearly ordering the edges: every clique C gets the word
+sigma(C) = its members in increasing order, every edge e = C_i C_j gets the
+triple (w_e, l_e, h_e) with w_e = |C_i cap C_j|,
+l_e = lexmin(sigma(C_i), sigma(C_j)), h_e = lexmax(...), and e < f iff the
+triples compare lexicographically.  Edges larger under ``<`` are preferred,
+making the maximum weight spanning forest unique.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+
+from ..graphs.adjacency import Graph, Vertex
+from ..graphs.chordal import maximal_cliques
+
+Clique = FrozenSet[Vertex]
+#: An edge of W_G: the two cliques plus its weight.
+WeightedEdge = Tuple[Clique, Clique, int]
+
+__all__ = ["Clique", "WeightedEdge", "sigma", "edge_key", "weighted_clique_intersection_edges", "wcig_edges_among"]
+
+
+def sigma(clique: Clique) -> Tuple[Vertex, ...]:
+    """The word sigma(C): members of C in increasing identifier order."""
+    return tuple(sorted(clique))
+
+
+def edge_key(c1: Clique, c2: Clique) -> Tuple[int, Tuple[Vertex, ...], Tuple[Vertex, ...]]:
+    """The triple (w_e, l_e, h_e) that positions edge C1C2 in the order ``<``.
+
+    Python's tuple comparison is exactly the lexicographic order the paper
+    uses, so two keys compare as the paper's ``<`` does.
+    """
+    w = len(c1 & c2)
+    s1, s2 = sigma(c1), sigma(c2)
+    if s1 <= s2:
+        lo, hi = s1, s2
+    else:
+        lo, hi = s2, s1
+    return (w, lo, hi)
+
+
+def wcig_edges_among(cliques: Sequence[Clique]) -> List[WeightedEdge]:
+    """All W_G edges among the given cliques (pairs with nonempty intersection)."""
+    edges: List[WeightedEdge] = []
+    for i, c1 in enumerate(cliques):
+        for c2 in cliques[i + 1:]:
+            inter = c1 & c2
+            if inter:
+                edges.append((c1, c2, len(inter)))
+    return edges
+
+
+def weighted_clique_intersection_edges(graph: Graph) -> Tuple[List[Clique], List[WeightedEdge]]:
+    """Maximal cliques of a chordal graph and the edges of its W_G."""
+    cliques = maximal_cliques(graph)
+    return cliques, wcig_edges_among(cliques)

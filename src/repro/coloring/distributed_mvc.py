@@ -1,0 +1,263 @@
+"""Algorithms 2-4: the distributed implementation of the coloring pipeline.
+
+The global behavior of the distributed algorithm is *identical* to
+Algorithm 1 (Lemma 12) -- same layers, same colorings, same corrections --
+so this driver reuses the centralized phases and adds the two things that
+are genuinely distributed:
+
+* **Round accounting** under the ball equivalence: each peeling iteration
+  costs one collection of the radius-``collect_radius`` neighborhood; layer
+  i therefore leaves PruneTree at round i * collect_radius.  All nodes of a
+  layer then run ColIntGraph together (its rounds come from
+  :mod:`repro.coloring.interval_coloring`), and the color correction phase
+  follows the wait-for-parent recurrence of Lemma 12's induction: a path's
+  correction starts when its own layer coloring is done and every
+  higher-layer neighbor carries its final color, and takes O(k) rounds.
+  The number of rounds of the whole algorithm is the largest node finish
+  time, which Theorem 4 bounds by O(k log n).
+
+* **Local decisions** (Algorithm 3): a node can decide its own layer
+  membership purely from its collected ball, by reconstructing the local
+  view of the clique forest (Section 3) and inspecting the maximal binary
+  path around its subtree.  :func:`local_layer_decision` implements the
+  per-node rule; tests verify it agrees with the centralized peeling,
+  which is exactly the coherence claim of Section 3.
+
+* **Parents and children** (Definition 1): each peeled node's parent is
+  the maximum-ID node of the nearest attachment clique, provided it is
+  within the recoloring distance; Corollary 2 (parents live in higher
+  layers) is verified in tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..cliquetree.forest import CliqueForest
+from ..cliquetree.local_view import LocalView, compute_local_view
+from ..cliquetree.paths import path_diameter
+from ..graphs.adjacency import Graph, Vertex
+from ..localmodel.rounds import NodeClocks, RoundLedger
+from .chordal_mvc import ChordalColoringResult, color_chordal_graph, conflict_boundary
+from .parameters import ColoringParameters
+from .prune import PeeledPath, Peeling
+
+__all__ = [
+    "DistributedColoringReport",
+    "distributed_color_chordal",
+    "local_layer_decision",
+    "compute_parent",
+]
+
+
+@dataclass
+class DistributedColoringReport:
+    """Coloring plus the LOCAL-model cost profile of Algorithm 2."""
+
+    result: ChordalColoringResult
+    total_rounds: int
+    pruning_rounds: int
+    coloring_finish: List[int]  # per layer, absolute round of completion
+    finish_time: Dict[Vertex, int]
+    parents: Dict[Vertex, Optional[Vertex]]
+
+    @property
+    def coloring(self) -> Dict[Vertex, int]:
+        return self.result.coloring
+
+    def num_colors(self) -> int:
+        return self.result.num_colors()
+
+
+def distributed_color_chordal(
+    graph: Graph,
+    epsilon: Optional[float] = None,
+    k: Optional[int] = None,
+) -> DistributedColoringReport:
+    """Run Algorithm 2 and account its rounds (Theorem 4)."""
+    result = color_chordal_graph(graph, epsilon=epsilon, k=k)
+    params = result.parameters
+    peeling = result.peeling
+    num_layers = peeling.num_layers()
+
+    # Pruning: layer i exits PruneTree after i ball collections.
+    iteration_cost = params.collect_radius
+    prune_exit = {i: i * iteration_cost for i in range(1, num_layers + 1)}
+    pruning_rounds = num_layers * iteration_cost
+
+    # Coloring: each layer starts as soon as it leaves PruneTree.
+    coloring_finish = [
+        prune_exit[i] + result.layer_color_rounds[i - 1]
+        for i in range(1, num_layers + 1)
+    ]
+
+    # Correction: Lemma 12's induction, evaluated exactly on the real
+    # dependency structure.
+    correction_cost = 2 * params.recolor_distance + 4
+    clocks = NodeClocks()
+    parents: Dict[Vertex, Optional[Vertex]] = {}
+    for i in range(num_layers, 0, -1):
+        for peeled in peeling.layers[i - 1]:
+            w_prime = conflict_boundary(graph, peeling, peeled)
+            for v in peeled.nodes:
+                parents[v] = compute_parent(graph, peeled, v, params)
+            if not w_prime or i == num_layers:
+                finish = coloring_finish[i - 1]
+            else:
+                ready = max(
+                    coloring_finish[i - 1],
+                    max(clocks.at(u) for u in w_prime),
+                )
+                finish = ready + correction_cost
+            for v in peeled.nodes:
+                clocks.set_at(v, finish)
+
+    return DistributedColoringReport(
+        result=result,
+        total_rounds=clocks.makespan(),
+        pruning_rounds=pruning_rounds,
+        coloring_finish=coloring_finish,
+        finish_time=clocks.as_dict(),
+        parents=parents,
+    )
+
+
+def compute_parent(
+    graph: Graph,
+    peeled: PeeledPath,
+    v: Vertex,
+    params: ColoringParameters,
+) -> Optional[Vertex]:
+    """Definition 1: v's parent, or None.
+
+    The parent is the maximum-ID node of the attachment clique C nearest
+    to v (ties toward the left attachment), provided dist_G(v, C) is at
+    most the recoloring distance.
+    """
+    candidates: List[Tuple[int, Vertex]] = []
+    dist = graph.bfs_distances(v, cutoff=params.recolor_distance)
+    for att in (peeled.path.left_attachment, peeled.path.right_attachment):
+        if att is None:
+            continue
+        reachable = [dist[u] for u in att if u in dist]
+        if reachable:
+            candidates.append((min(reachable), max(att)))
+    if not candidates:
+        return None
+    candidates.sort(key=lambda t: t[0])
+    return candidates[0][1]
+
+
+def local_layer_decision(
+    current_graph: Graph, v: Vertex, params: ColoringParameters
+) -> bool:
+    """Algorithm 3, step 3: should v join the current layer?
+
+    Decides purely from v's radius-``collect_radius`` ball of the current
+    (not yet peeled) graph: reconstruct the local view of the clique
+    forest, walk the maximal binary path around T(v), and join if the path
+    is pendant, long enough, or provably extends beyond the horizon.
+    """
+    view = compute_local_view(current_graph, v, params.collect_radius)
+    frag = view.forest
+    phi_v = frag.phi(v)
+
+    # T(v) must lie on a binary path: every clique containing v needs
+    # (certified) degree <= 2.  Cliques containing v sit inside Gamma[v],
+    # deep within the view, so their degrees are always certified.
+    for c in phi_v:
+        if frag.degree(c) > 2 or not view.degree_is_exact(c):
+            return False
+
+    # Walk outwards from T(v)'s subpath in both directions.
+    path = _order_subpath(frag, phi_v)
+    if len(path) == 1:
+        outward = sorted(frag.neighbors(path[0]), key=lambda c: tuple(sorted(c)))
+        targets = [
+            (path[0], outward[0] if outward else None),
+            (path[0], outward[1] if len(outward) > 1 else None),
+        ]
+    else:
+        left_out = frag.neighbors(path[0]) - {path[1]}
+        right_out = frag.neighbors(path[-1]) - {path[-2]}
+        targets = [
+            (path[0], next(iter(left_out), None)),
+            (path[-1], next(iter(right_out), None)),
+        ]
+
+    statuses: List[str] = []
+    extensions: List[List] = []
+    for boundary, first_next in targets:
+        ext, status = _walk_binary(frag, view, boundary, first_next)
+        statuses.append(status)
+        extensions.append(ext)
+    full_path = list(reversed(extensions[0])) + path + extensions[1]
+
+    if "pendant" in statuses:
+        # The true maximal binary path around T(v) has a free end, so it
+        # is pendant and always peeled.
+        return True
+    # Internal (or horizon-truncated, in which case the true path is at
+    # least as long as what we see): join iff the visible diameter clears
+    # the threshold.
+    ball_graph = current_graph.induced_subgraph(set(view.interior))
+    visible_diameter = _path_diameter_within(ball_graph, full_path)
+    return visible_diameter >= params.internal_threshold
+
+
+def _walk_binary(
+    frag: CliqueForest, view: LocalView, boundary, first_next
+) -> Tuple[List, str]:
+    """Follow a binary path from ``boundary`` through ``first_next``.
+
+    Returns the cliques appended (nearest first) and the end status:
+    'pendant' (free end certified), 'attached' (a degree->=3 clique
+    blocks), or 'truncated' (the view's horizon cut the walk short).
+    """
+    if first_next is None:
+        return [], "pendant"
+    ext: List = []
+    before, cur = boundary, first_next
+    while True:
+        if frag.degree(cur) > 2:
+            # fragment degree lower-bounds the true degree
+            return ext, "attached"
+        if not view.degree_is_exact(cur):
+            return ext, "truncated"
+        ext.append(cur)
+        nbrs = frag.neighbors(cur) - {before}
+        if not nbrs:
+            return ext, "pendant"
+        before, cur = cur, next(iter(nbrs))
+
+
+def _order_subpath(frag: CliqueForest, cliques: Set) -> List:
+    members = set(cliques)
+    if len(members) == 1:
+        return list(members)
+    ends = [c for c in members if len(frag.neighbors(c) & members) <= 1]
+    start = min(ends, key=lambda c: tuple(sorted(c)))
+    ordered = [start]
+    prev = None
+    cur = start
+    while len(ordered) < len(members):
+        nxt = [d for d in frag.neighbors(cur) if d in members and d != prev]
+        prev, cur = cur, nxt[0]
+        ordered.append(cur)
+    return ordered
+
+
+def _path_diameter_within(ball_graph: Graph, path: List) -> int:
+    verts = set()
+    for c in path:
+        verts |= c
+    verts &= set(ball_graph.vertices())
+    best = 0
+    for s in verts:
+        dist = ball_graph.bfs_distances(s)
+        for t in verts:
+            if t in dist:
+                best = max(best, dist[t])
+    return best

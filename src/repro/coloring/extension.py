@@ -1,0 +1,244 @@
+"""Boundary-respecting recoloring of interval graphs (constructive Lemma 9).
+
+Problem (Lemma 9 of the paper, proved in [21]): an interval graph H comes
+with a clique path C_1, ..., C_m whose end cliques are already legally
+colored; extend that precoloring to all of H without exceeding
+max{floor((1 + 1/k) chi(H)) + 1, c} colors, provided the ends are far
+enough apart.  The paper's Lemma 10 then recolors each peeled path's
+conflict zone with it.
+
+Our construction (see DESIGN.md for the deviation note):
+
+1. **Greedy with preference.**  Color H by the left-endpoint greedy,
+   honoring the *left* fixed boundary and preferring the *right* boundary's
+   color values.  Every non-fixed vertex receives one of the first
+   chi(H) preference colors (its colored-before neighbors share its
+   leftmost bag), so right of the leftmost cut the coloring alpha uses at
+   most chi(H) distinct values -- leaving s = |palette| - chi(H) >= 1
+   values completely unused there: the *relay* colors.
+
+2. **Permutation.**  On the right boundary, alpha disagrees with the
+   required colors only up to a partial injection pi (alpha's colors on the
+   boundary clique -> required colors); complete pi into a permutation
+   sigma of the palette with as many fixed points as possible.
+
+3. **Relay morph.**  Transform alpha into sigma(alpha) gradually along the
+   path.  An *elementary move* (c -> c') at cut position t recolors every
+   alpha-class-c vertex lying strictly right of bag t to c'; it is legal
+   whenever c' is unused among vertices alive at or after t.  Each cycle
+   (c_1 ... c_j) of sigma costs j + 1 moves using one relay: park c_j on
+   the relay, shift c_{j-1} -> c_j, ..., c_1 -> c_2, then land the relay on
+   c_1.  With s relays, s cycles advance in parallel, one move per lane per
+   cut.  Consecutive cuts are vertex-disjoint bags, so each move's class is
+   fully covered by the previous cut's move, keeping every move legal.
+
+Vertices left of the first cut keep alpha (in particular the fixed left
+boundary); vertices right of the last cut get exactly sigma(alpha), which
+equals the required coloring on the right boundary.  The number of cuts is
+ceil(moves / s) <= ceil((2 chi + 2) / s), so boundary distance Theta(chi/s)
+suffices -- with the global palette of Theorem 3 that is Theta(k), the same
+shape as the paper's k + 3 (see repro.coloring.parameters).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..graphs.adjacency import Graph, Vertex
+from .decomposition import PathBags
+from .greedy import preference_greedy
+
+Color = int
+
+__all__ = ["MorphError", "extend_path_coloring", "complete_permutation", "cycle_moves"]
+
+
+class MorphError(RuntimeError):
+    """The morph could not be carried out (insufficient distance/palette).
+
+    Under the hypotheses of Lemma 9 (as re-quantified in
+    repro.coloring.parameters) this is never raised; it guards against
+    callers violating them.
+    """
+
+
+def complete_permutation(
+    pi: Mapping[Color, Color], palette: Sequence[Color]
+) -> Dict[Color, Color]:
+    """Extend a partial injection on the palette to a full permutation.
+
+    Colors outside dom(pi) map to themselves when possible; the remaining
+    sources and targets are matched in sorted order.  Maximizing fixed
+    points minimizes the number of relay moves later.
+    """
+    palette_set = set(palette)
+    for a, b in pi.items():
+        if a not in palette_set or b not in palette_set:
+            raise ValueError("pi maps outside the palette")
+    if len(set(pi.values())) != len(pi):
+        raise ValueError("pi is not injective")
+    sigma = dict(pi)
+    taken = set(pi.values())
+    leftover_sources = [c for c in sorted(palette_set) if c not in sigma]
+    for c in list(leftover_sources):
+        if c not in taken:
+            sigma[c] = c
+            taken.add(c)
+            leftover_sources.remove(c)
+    leftover_targets = [c for c in sorted(palette_set) if c not in taken]
+    for c, t in zip(leftover_sources, leftover_targets):
+        sigma[c] = t
+    return sigma
+
+
+def cycle_moves(sigma: Mapping[Color, Color], relay: Color) -> List[List[Tuple[Color, Color]]]:
+    """Decompose sigma's non-fixed part into per-cycle move sequences.
+
+    Each cycle (c_1 -> c_2 -> ... -> c_j -> c_1) becomes the move list
+    [(c_j, relay), (c_{j-1}, c_j), ..., (c_1, c_2), (relay, c_1)].
+    The relay placeholder is substituted by the caller per lane.
+    """
+    seen: Set[Color] = set()
+    out: List[List[Tuple[Color, Color]]] = []
+    for start in sorted(sigma):
+        if start in seen or sigma[start] == start:
+            continue
+        cycle = [start]
+        cur = sigma[start]
+        while cur != start:
+            cycle.append(cur)
+            cur = sigma[cur]
+        seen.update(cycle)
+        # cycle[i] must become sigma(cycle[i]) = cycle[i+1 mod j]
+        moves = [(cycle[-1], relay)]
+        for i in range(len(cycle) - 2, -1, -1):
+            moves.append((cycle[i], cycle[i + 1]))
+        moves.append((relay, cycle[0]))
+        out.append(moves)
+    return out
+
+
+_RELAY = -1  # placeholder inside cycle_moves
+
+
+def extend_path_coloring(
+    graph: Graph,
+    bags: PathBags,
+    palette: Sequence[Color],
+    fixed_left: Optional[Mapping[Vertex, Color]] = None,
+    fixed_right: Optional[Mapping[Vertex, Color]] = None,
+) -> Dict[Vertex, Color]:
+    """Color ``graph`` on the decomposition ``bags`` honoring both boundaries.
+
+    ``fixed_left`` vertices must lie in the leftmost bag's side (their runs
+    must start at bag 0); ``fixed_right`` vertices in the rightmost bag.
+    Either may be empty.  Raises :class:`MorphError` when the decomposition
+    is too short or the palette too tight for the relay morph.
+    """
+    fixed_left = dict(fixed_left or {})
+    fixed_right = dict(fixed_right or {})
+    for boundary in (fixed_left, fixed_right):
+        for v, c in boundary.items():
+            for u in graph.neighbors(v):
+                if boundary.get(u) == c:
+                    raise ValueError(
+                        f"fixed boundary is improper: {u!r} and {v!r} share {c!r}"
+                    )
+    if not fixed_right:
+        return preference_greedy(graph, bags, palette, fixed=fixed_left)
+    if not fixed_left:
+        # Mirror the instance so the single boundary is on the left.
+        mirrored = extend_path_coloring(
+            graph, bags.reversed_(), palette, fixed_left=fixed_right
+        )
+        return mirrored
+
+    for v in fixed_left:
+        if bags.first(v) != 0:
+            raise ValueError(f"fixed-left vertex {v!r} does not start at bag 0")
+    last_index = len(bags) - 1
+    for v in fixed_right:
+        if bags.last(v) != last_index:
+            raise ValueError(f"fixed-right vertex {v!r} does not end at the last bag")
+
+    # Step 1: greedy honoring the left boundary, preferring right values.
+    alpha = preference_greedy(
+        graph,
+        bags,
+        palette,
+        fixed=fixed_left,
+        preferred=sorted(set(fixed_right.values())),
+    )
+
+    # Step 2: the permutation required on the right boundary.
+    pi: Dict[Color, Color] = {}
+    for v, target in fixed_right.items():
+        source = alpha[v]
+        if source in pi and pi[source] != target:
+            raise AssertionError("alpha is improper on the right boundary clique")
+        pi[source] = target
+    sigma = complete_permutation(pi, palette)
+    if all(sigma[c] == c for c in sigma):
+        return alpha
+
+    # Step 3: relay lanes.
+    min_first_right = min(bags.first(v) for v in fixed_right)
+    cut_candidates = bags.disjoint_cut_positions(
+        1, min_first_right - 1, avoid=bags.bags[0]
+    )
+    if not cut_candidates:
+        raise MorphError("no cut positions between the fixed boundaries")
+    suffix_used = {
+        alpha[v] for v in bags.alive_at_or_after(cut_candidates[0])
+    } | set(fixed_right.values())
+    relays = [c for c in sorted(palette) if c not in suffix_used]
+    if not relays:
+        raise MorphError(
+            "no relay colors available: palette too small for the morph"
+        )
+
+    # Assign cycles to relay lanes, balancing total move counts.
+    cycles = cycle_moves(sigma, _RELAY)
+    lanes: List[List[Tuple[Color, Color]]] = [[] for _ in relays]
+    for cyc in sorted(cycles, key=len, reverse=True):
+        lane_idx = min(range(len(lanes)), key=lambda i: len(lanes[i]))
+        relay = relays[lane_idx]
+        lanes[lane_idx].extend(
+            (relay if a is _RELAY else a, relay if b is _RELAY else b)
+            for a, b in cyc
+        )
+    rounds_needed = max(len(lane) for lane in lanes)
+    if rounds_needed > len(cut_candidates):
+        raise MorphError(
+            f"morph needs {rounds_needed} cuts but only "
+            f"{len(cut_candidates)} disjoint cut bags are available"
+        )
+    cuts = cut_candidates[:rounds_needed]
+
+    # Execute the moves cut by cut.
+    current = dict(alpha)
+    for step, cut in enumerate(cuts):
+        alive = bags.alive_at_or_after(cut)
+        right = set(bags.strictly_right_of(cut))
+        for lane in lanes:
+            if step >= len(lane):
+                continue
+            c_from, c_to = lane[step]
+            # legality: target unused among vertices alive at/after the cut
+            if any(current[v] == c_to for v in alive):
+                raise MorphError(
+                    f"move {c_from}->{c_to} at cut {cut} is illegal: "
+                    f"{c_to} still in use in the suffix"
+                )
+            for v in right:
+                if current[v] == c_from:
+                    current[v] = c_to
+    # Vertices right of every cut now carry sigma(alpha); in particular the
+    # right boundary matches its fixed colors.
+    for v, target in fixed_right.items():
+        if current[v] != target:
+            raise MorphError(
+                f"morph failed to deliver fixed color for {v!r}: "
+                f"{current[v]} != {target}"
+            )
+    return current

@@ -1,0 +1,171 @@
+"""The peeling process (pruning phase of Algorithms 1, 3 and 6).
+
+Starting from the canonical clique forest T_1 of the input chordal graph,
+iteration i removes every maximal pendant path of T_i plus every maximal
+internal path accepted by an *internal rule* (diameter >= 3k for coloring,
+diameter >= 2d + 3 or -- in the last MIS iteration -- independence number
+>= d).  The nodes whose subtrees lie inside removed paths form layer V_i;
+by Lemmas 3-5, simply deleting the removed paths from T_i yields the clique
+forest T_{i+1} of the remaining graph, and by Lemma 6 (the pruning lemma)
+at most ceil(log2 n) iterations empty the forest when every internal path
+of large diameter is taken.
+
+Each removed path is recorded as a :class:`PeeledPath`, carrying everything
+the later phases need: the ordered cliques, the attachment cliques C_s/C_e
+(Lemma 8's boundary cliques), the removed node set W_P, and the layer
+index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..cliquetree.forest import CliqueForest, build_clique_forest
+from ..cliquetree.paths import (
+    ForestPath,
+    maximal_binary_paths,
+    nodes_with_subtree_in,
+    path_diameter,
+)
+from ..graphs.adjacency import Graph, Vertex
+from .decomposition import PathBags
+
+__all__ = ["PeeledPath", "Peeling", "peel_chordal_graph", "diameter_rule"]
+
+#: Decides whether a maximal *internal* path is peeled this iteration.
+InternalRule = Callable[[Graph, ForestPath], bool]
+
+
+def diameter_rule(threshold: int) -> InternalRule:
+    """The coloring rule: internal paths of diameter >= threshold (3k)."""
+
+    def rule(graph: Graph, path: ForestPath) -> bool:
+        return path_diameter(graph, path.cliques) >= threshold
+
+    return rule
+
+
+@dataclass(frozen=True)
+class PeeledPath:
+    """One maximal binary path removed during peeling."""
+
+    layer: int
+    path: ForestPath
+    nodes: FrozenSet[Vertex]
+
+    @property
+    def cliques(self) -> Tuple[FrozenSet[Vertex], ...]:
+        return self.path.cliques
+
+    @property
+    def attachments(self) -> Tuple[FrozenSet[Vertex], ...]:
+        return self.path.attachments
+
+    def layer_bags(self) -> PathBags:
+        """The clique path decomposition of G[W_P] (Lemma 7, restricted)."""
+        return PathBags(c & self.nodes for c in self.path.cliques)
+
+
+@dataclass
+class Peeling:
+    """The full output of the pruning phase."""
+
+    layers: List[List[PeeledPath]]
+    layer_of: Dict[Vertex, int]
+    #: T_1, T_2, ...: forest before each iteration (T_{i+1} after removing
+    #: layer i); kept for the structural tests of Lemmas 5 and 6.
+    forests: List[CliqueForest]
+    #: True when the peeling ran to an empty forest (False when stopped
+    #: early by max_iterations, as Algorithm 6 does).
+    exhausted: bool
+
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+    def nodes_of_layer(self, i: int) -> Set[Vertex]:
+        """All nodes of layer i (1-based, like the paper)."""
+        out: Set[Vertex] = set()
+        for peeled in self.layers[i - 1]:
+            out |= peeled.nodes
+        return out
+
+    def remaining_nodes(self) -> Set[Vertex]:
+        """U_{k+1}: nodes never peeled (empty when exhausted)."""
+        assigned = set(self.layer_of)
+        return {v for v in self._all_nodes if v not in assigned}
+
+    _all_nodes: Set[Vertex] = field(default_factory=set)
+
+
+def peel_chordal_graph(
+    graph: Graph,
+    internal_rule: InternalRule,
+    max_iterations: Optional[int] = None,
+    last_iteration_rule: Optional[InternalRule] = None,
+) -> Peeling:
+    """Run the peeling process on a chordal graph.
+
+    ``internal_rule`` accepts or rejects each maximal internal path;
+    pendant paths are always removed.  When ``max_iterations`` is given the
+    process stops after that many layers (Algorithm 6), optionally applying
+    ``last_iteration_rule`` instead of ``internal_rule`` in the final one;
+    otherwise it runs until the forest is empty, which Lemma 6 bounds by
+    ceil(log2 n) iterations.
+    """
+    forest = build_clique_forest(graph)
+    current = graph.copy()
+    layers: List[List[PeeledPath]] = []
+    layer_of: Dict[Vertex, int] = {}
+    forests: List[CliqueForest] = [forest]
+
+    iteration = 0
+    while len(forest) > 0:
+        iteration += 1
+        if max_iterations is not None and iteration > max_iterations:
+            return Peeling(
+                layers=layers,
+                layer_of=layer_of,
+                forests=forests,
+                exhausted=False,
+                _all_nodes=set(graph.vertices()),
+            )
+        rule = internal_rule
+        if (
+            last_iteration_rule is not None
+            and max_iterations is not None
+            and iteration == max_iterations
+        ):
+            rule = last_iteration_rule
+
+        peeled_here: List[PeeledPath] = []
+        removed_cliques: List[FrozenSet[Vertex]] = []
+        removed_nodes: Set[Vertex] = set()
+        for path in maximal_binary_paths(forest):
+            if not (path.is_pendant or rule(current, path)):
+                continue
+            nodes = frozenset(nodes_with_subtree_in(forest, path.cliques))
+            peeled_here.append(
+                PeeledPath(layer=iteration, path=path, nodes=nodes)
+            )
+            removed_cliques.extend(path.cliques)
+            removed_nodes |= nodes
+        if not peeled_here:
+            raise AssertionError(
+                "peeling stalled: a nonempty forest always has pendant paths"
+            )
+        for peeled in peeled_here:
+            for v in peeled.nodes:
+                layer_of[v] = iteration
+        layers.append(peeled_here)
+        forest = forest.without_cliques(removed_cliques)
+        current.remove_vertices(removed_nodes)
+        forests.append(forest)
+
+    return Peeling(
+        layers=layers,
+        layer_of=layer_of,
+        forests=forests,
+        exhausted=True,
+        _all_nodes=set(graph.vertices()),
+    )

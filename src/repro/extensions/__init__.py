@@ -1,0 +1,19 @@
+"""Explorations beyond the paper (its Section 9 future-work questions)."""
+
+from .k_chordal import (
+    TriangulatedColoring,
+    chordal_with_handles,
+    handle_experiment_rows,
+    is_l_chordal,
+    longest_induced_cycle,
+    triangulate_and_color,
+)
+
+__all__ = [
+    "TriangulatedColoring",
+    "chordal_with_handles",
+    "handle_experiment_rows",
+    "is_l_chordal",
+    "longest_induced_cycle",
+    "triangulate_and_color",
+]

@@ -1,0 +1,187 @@
+"""Graph substrate: data structure, chordal/interval machinery, generators.
+
+This package is self-contained (standard library only) and provides
+everything the algorithm layers build on:
+
+* :class:`~repro.graphs.adjacency.Graph` -- the core adjacency-set graph,
+* chordality: LexBFS/MCS, perfect elimination orderings, recognition and
+  the maximal cliques of chordal graphs (:mod:`repro.graphs.chordal`),
+* interval representations, dominated-vertex removal and proper interval
+  orders (:mod:`repro.graphs.interval`),
+* deterministic and seeded-random generators (:mod:`repro.graphs.generators`),
+* the 23-node worked example of the paper's Figures 1-6
+  (:mod:`repro.graphs.examples`),
+* output validators and brute-force oracles
+  (:mod:`repro.graphs.validation`, :mod:`repro.graphs.exact`).
+"""
+
+from .adjacency import Graph, Vertex, Edge
+from .chordal import (
+    NotChordalError,
+    check_peo,
+    clique_number,
+    is_chordal,
+    is_simplicial,
+    lex_bfs,
+    maximal_cliques,
+    maximum_cardinality_search,
+    perfect_elimination_ordering,
+    simplicial_vertices,
+)
+from .examples import (
+    FIGURE3_CENTER,
+    FIGURE5_PATH,
+    PAPER_CLIQUES,
+    paper_example_cliques,
+    paper_example_graph,
+)
+from .exact import (
+    brute_force_chromatic_number,
+    brute_force_independence_number,
+    brute_force_maximum_independent_set,
+    brute_force_optimal_coloring,
+)
+from .generators import (
+    binary_tree,
+    caterpillar,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    power_law_tree,
+    random_chordal_graph,
+    random_connected_interval_graph,
+    random_interval_graph,
+    random_k_tree,
+    random_proper_interval_graph,
+    random_split_graph,
+    random_tree,
+    star_graph,
+    unit_interval_chain,
+)
+from .io import (
+    dump_json,
+    from_dict,
+    from_edge_list,
+    intervals_from_text,
+    intervals_to_text,
+    load_json,
+    to_dict,
+    to_edge_list,
+)
+from .properties import (
+    degeneracy,
+    degeneracy_ordering,
+    density,
+    is_clique_cover,
+    minimum_clique_cover_chordal,
+)
+from .triangulation import (
+    Triangulation,
+    elimination_ordering,
+    fill_in_count,
+    treewidth_chordal,
+    triangulate,
+)
+from .interval import (
+    NotProperIntervalError,
+    dominated_vertices,
+    interval_graph_from_intervals,
+    is_proper_interval_order,
+    proper_interval_order,
+    remove_dominated_vertices,
+)
+from .validation import (
+    assert_independent_set,
+    assert_proper_coloring,
+    coloring_violation,
+    independent_set_violation,
+    is_distance_k_independent_set,
+    is_independent_set,
+    is_maximal_distance_k_independent_set,
+    is_maximal_independent_set,
+    is_proper_coloring,
+    num_colors,
+)
+
+__all__ = [
+    "Graph",
+    "Vertex",
+    "Edge",
+    # chordal
+    "NotChordalError",
+    "check_peo",
+    "clique_number",
+    "is_chordal",
+    "is_simplicial",
+    "lex_bfs",
+    "maximal_cliques",
+    "maximum_cardinality_search",
+    "perfect_elimination_ordering",
+    "simplicial_vertices",
+    # examples
+    "FIGURE3_CENTER",
+    "FIGURE5_PATH",
+    "PAPER_CLIQUES",
+    "paper_example_cliques",
+    "paper_example_graph",
+    # exact oracles
+    "brute_force_chromatic_number",
+    "brute_force_independence_number",
+    "brute_force_maximum_independent_set",
+    "brute_force_optimal_coloring",
+    # generators
+    "binary_tree",
+    "caterpillar",
+    "complete_graph",
+    "cycle_graph",
+    "path_graph",
+    "power_law_tree",
+    "random_chordal_graph",
+    "random_connected_interval_graph",
+    "random_interval_graph",
+    "random_k_tree",
+    "random_proper_interval_graph",
+    "random_split_graph",
+    "random_tree",
+    "star_graph",
+    "unit_interval_chain",
+    # io
+    "dump_json",
+    "from_dict",
+    "from_edge_list",
+    "intervals_from_text",
+    "intervals_to_text",
+    "load_json",
+    "to_dict",
+    "to_edge_list",
+    # properties
+    "degeneracy",
+    "degeneracy_ordering",
+    "density",
+    "is_clique_cover",
+    "minimum_clique_cover_chordal",
+    # triangulation
+    "Triangulation",
+    "elimination_ordering",
+    "fill_in_count",
+    "treewidth_chordal",
+    "triangulate",
+    # interval
+    "NotProperIntervalError",
+    "dominated_vertices",
+    "interval_graph_from_intervals",
+    "is_proper_interval_order",
+    "proper_interval_order",
+    "remove_dominated_vertices",
+    # validation
+    "assert_independent_set",
+    "assert_proper_coloring",
+    "coloring_violation",
+    "independent_set_violation",
+    "is_distance_k_independent_set",
+    "is_independent_set",
+    "is_maximal_distance_k_independent_set",
+    "is_maximal_independent_set",
+    "is_proper_coloring",
+    "num_colors",
+]

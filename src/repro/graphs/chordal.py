@@ -1,0 +1,212 @@
+"""Chordal graph machinery: elimination orderings, recognition, cliques.
+
+A graph is *chordal* if every cycle on at least four vertices has a chord
+(Section 2 of the paper).  Equivalently, it admits a *perfect elimination
+ordering* (PEO): an ordering v_1, ..., v_n such that each v_i is simplicial
+in G[{v_i, ..., v_n}] -- its later neighbors form a clique.
+
+This module provides:
+
+* :func:`lex_bfs` -- lexicographic breadth-first search, which produces a
+  PEO (in reverse visit order) exactly when the graph is chordal,
+* :func:`maximum_cardinality_search` -- the MCS alternative,
+* :func:`perfect_elimination_ordering` / :func:`is_chordal`,
+* :func:`maximal_cliques` -- the (at most n) maximal cliques of a chordal
+  graph, extracted from a PEO in the standard way,
+* :func:`simplicial_vertices`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from .adjacency import Graph, Vertex
+
+__all__ = [
+    "NotChordalError",
+    "lex_bfs",
+    "maximum_cardinality_search",
+    "perfect_elimination_ordering",
+    "is_chordal",
+    "check_peo",
+    "maximal_cliques",
+    "simplicial_vertices",
+    "is_simplicial",
+    "clique_number",
+]
+
+
+class NotChordalError(ValueError):
+    """Raised when an algorithm that requires a chordal input receives one
+    that is not chordal.  Carries the violating vertex when known."""
+
+    def __init__(self, message: str, vertex: Optional[Vertex] = None):
+        super().__init__(message)
+        self.vertex = vertex
+
+
+def lex_bfs(
+    graph: Graph,
+    start: Optional[Vertex] = None,
+    plus: Optional[List[Vertex]] = None,
+) -> List[Vertex]:
+    """Lexicographic BFS visit order.
+
+    Implemented with the classic partition-refinement scheme.  Ties are
+    broken by vertex order so the output is deterministic.  If ``start``
+    is given, it is visited first.  If ``plus`` is given (a previous visit
+    order), ties are instead broken by choosing the vertex appearing
+    *latest* in it -- the LBFS+ rule of Corneil's multi-sweep recognition
+    algorithms; the start defaults to the last vertex of ``plus``.
+
+    The *reverse* of the returned order is a PEO iff the graph is chordal.
+    """
+    if len(graph) == 0:
+        return []
+    if plus is not None:
+        if sorted(plus) != graph.vertices():
+            raise ValueError("plus order must enumerate every vertex exactly once")
+        verts = list(reversed(plus))
+        if start is None:
+            start = verts[0]
+    else:
+        verts = graph.vertices()
+    if start is not None:
+        if start not in graph:
+            raise KeyError(f"start vertex {start!r} not in graph")
+        verts = [start] + [v for v in verts if v != start]
+
+    # Partition refinement: a list of "blocks" ordered by label priority.
+    # Each visited vertex splits every block into (neighbors, rest), with
+    # neighbors moving in front.
+    blocks: List[List[Vertex]] = [list(verts)]
+    order: List[Vertex] = []
+    while blocks:
+        head = blocks[0]
+        v = head.pop(0)
+        if not head:
+            blocks.pop(0)
+        order.append(v)
+        nbrs = graph.neighbors(v)
+        new_blocks: List[List[Vertex]] = []
+        for block in blocks:
+            inside = [u for u in block if u in nbrs]
+            outside = [u for u in block if u not in nbrs]
+            if inside:
+                new_blocks.append(inside)
+            if outside:
+                new_blocks.append(outside)
+        blocks = new_blocks
+    return order
+
+
+def maximum_cardinality_search(graph: Graph) -> List[Vertex]:
+    """Maximum cardinality search visit order.
+
+    Repeatedly visits the unvisited vertex with the most visited neighbors
+    (ties by vertex order).  Like LexBFS, the reverse visit order is a PEO
+    iff the graph is chordal.
+    """
+    weight: Dict[Vertex, int] = {v: 0 for v in graph.vertices()}
+    order: List[Vertex] = []
+    unvisited: Set[Vertex] = set(weight)
+    while unvisited:
+        v = max(sorted(unvisited), key=lambda u: weight[u])
+        order.append(v)
+        unvisited.remove(v)
+        for u in graph.neighbors(v):
+            if u in unvisited:
+                weight[u] += 1
+    return order
+
+
+def check_peo(graph: Graph, order: List[Vertex]) -> Optional[Vertex]:
+    """Check whether ``order`` is a perfect elimination ordering.
+
+    Returns ``None`` if it is, otherwise the first vertex whose later
+    neighborhood is not a clique.  Uses the standard "parent" test, which
+    only needs O(m) adjacency checks.
+    """
+    pos = {v: i for i, v in enumerate(order)}
+    if len(pos) != len(graph):
+        raise ValueError("order must enumerate every vertex exactly once")
+    for v in order:
+        later = [u for u in graph.neighbors(v) if pos[u] > pos[v]]
+        if not later:
+            continue
+        parent = min(later, key=lambda u: pos[u])
+        rest = set(later) - {parent}
+        if not rest <= graph.neighbors(parent):
+            return v
+    return None
+
+
+def perfect_elimination_ordering(graph: Graph) -> List[Vertex]:
+    """A PEO of a chordal graph; raises :class:`NotChordalError` otherwise."""
+    order = list(reversed(lex_bfs(graph)))
+    bad = check_peo(graph, order)
+    if bad is not None:
+        raise NotChordalError(
+            f"graph is not chordal (vertex {bad!r} is not simplicial when eliminated)",
+            vertex=bad,
+        )
+    return order
+
+
+def is_chordal(graph: Graph) -> bool:
+    """Whether the graph is chordal (LexBFS + PEO check, O(n + m))."""
+    order = list(reversed(lex_bfs(graph)))
+    return check_peo(graph, order) is None
+
+
+def is_simplicial(graph: Graph, v: Vertex) -> bool:
+    """Whether Gamma(v) is a clique in ``graph``."""
+    return graph.is_clique(graph.neighbors(v))
+
+
+def simplicial_vertices(graph: Graph) -> List[Vertex]:
+    """All simplicial vertices, in sorted order."""
+    return [v for v in graph.vertices() if is_simplicial(graph, v)]
+
+
+def maximal_cliques(graph: Graph) -> List[FrozenSet[Vertex]]:
+    """The maximal cliques of a chordal graph.
+
+    A chordal graph on n vertices has at most n maximal cliques (Section 2),
+    and they are exactly the distinct sets ``{v} + later-neighbors(v)`` over
+    a PEO that are not contained in another such set.  Raises
+    :class:`NotChordalError` on non-chordal inputs.
+
+    The result is sorted by (size, sorted members) for determinism.
+    """
+    order = perfect_elimination_ordering(graph)
+    pos = {v: i for i, v in enumerate(order)}
+    candidates: List[Set[Vertex]] = []
+    for v in order:
+        cand = {u for u in graph.neighbors(v) if pos[u] > pos[v]}
+        cand.add(v)
+        candidates.append(cand)
+    # A candidate C(v) is a maximal clique unless it is contained in C(u)
+    # for some u.  The standard linear-time test: C(v) is non-maximal iff
+    # its "parent" u (earliest later neighbor of v) satisfies
+    # |C(v)| - 1 <= |C(u)| - 1 restricted appropriately; we use the simple
+    # and robust subset filter instead (n is at most a few thousand in this
+    # library's use cases).
+    cliques: List[FrozenSet[Vertex]] = []
+    candidates_fs = [frozenset(c) for c in candidates]
+    for i, c in enumerate(candidates_fs):
+        contained = False
+        for j, d in enumerate(candidates_fs):
+            if i != j and c <= d and (c != d or j < i):
+                contained = True
+                break
+        if not contained:
+            cliques.append(c)
+    return sorted(cliques, key=lambda c: (len(c), sorted(c)))
+
+
+def clique_number(graph: Graph) -> int:
+    """omega(G) of a chordal graph; equals chi(G) since chordal graphs are perfect."""
+    if len(graph) == 0:
+        return 0
+    return max(len(c) for c in maximal_cliques(graph))

@@ -1,0 +1,71 @@
+"""The worked example of the paper (Figures 1-6).
+
+Figure 1 of the paper shows a 23-node chordal graph G whose maximal cliques
+are listed in Figure 2:
+
+    C1  = {1, 2, 3}      C6  = {8, 9, 10}     C11 = {15, 16, 19}
+    C2  = {2, 3, 4}      C7  = {9, 10, 11}    C12 = {16, 17, 18}
+    C3  = {4, 5, 6}      C8  = {11, 12, 13}   C13 = {19, 20, 21}
+    C4  = {5, 6, 7}      C9  = {12, 13, 14}   C14 = {21, 22}
+    C5  = {2, 4, 8}      C10 = {14, 15, 16}   C15 = {21, 23}
+
+The graph is the union of these cliques.  The remaining figures derive
+structures from it: Figure 2 its weighted clique intersection graph and
+clique forest, Figures 3-4 the local view from node 10, and Figures 5-6 the
+removal of the internal path P = C6, ..., C10.
+
+These constants are used by the figure-reproduction tests and benchmarks
+(`benchmarks/bench_figures.py`) and by the quickstart example.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Tuple
+
+from .adjacency import Graph
+
+__all__ = [
+    "PAPER_CLIQUES",
+    "paper_example_graph",
+    "paper_example_cliques",
+    "FIGURE5_PATH",
+    "FIGURE3_CENTER",
+]
+
+#: The maximal cliques of Figure 2, keyed by their paper label.
+PAPER_CLIQUES: Dict[str, FrozenSet[int]] = {
+    "C1": frozenset({1, 2, 3}),
+    "C2": frozenset({2, 3, 4}),
+    "C3": frozenset({4, 5, 6}),
+    "C4": frozenset({5, 6, 7}),
+    "C5": frozenset({2, 4, 8}),
+    "C6": frozenset({8, 9, 10}),
+    "C7": frozenset({9, 10, 11}),
+    "C8": frozenset({11, 12, 13}),
+    "C9": frozenset({12, 13, 14}),
+    "C10": frozenset({14, 15, 16}),
+    "C11": frozenset({15, 16, 19}),
+    "C12": frozenset({16, 17, 18}),
+    "C13": frozenset({19, 20, 21}),
+    "C14": frozenset({21, 22}),
+    "C15": frozenset({21, 23}),
+}
+
+#: The internal path peeled in Figures 5-6.
+FIGURE5_PATH: Tuple[str, ...] = ("C6", "C7", "C8", "C9", "C10")
+
+#: The node whose local view Figures 3-4 depict.
+FIGURE3_CENTER: int = 10
+
+
+def paper_example_graph() -> Graph:
+    """The 23-node chordal graph of Figure 1."""
+    g = Graph(vertices=range(1, 24))
+    for clique in PAPER_CLIQUES.values():
+        g.add_clique(clique)
+    return g
+
+
+def paper_example_cliques() -> List[FrozenSet[int]]:
+    """The maximal cliques of Figure 2 in label order C1..C15."""
+    return [PAPER_CLIQUES[f"C{i}"] for i in range(1, 16)]

@@ -1,0 +1,52 @@
+"""LOCAL-model simulation: message passing, ball gathering, round accounting.
+
+* :mod:`repro.localmodel.network` -- synchronous message-passing engine
+  (:class:`SyncNetwork`) driving per-node :class:`NodeProgram` instances.
+* :mod:`repro.localmodel.gather` -- flooding-based ball gathering, the
+  executable witness of the "r rounds = radius-r knowledge" equivalence.
+* :mod:`repro.localmodel.rounds` -- ledgers and per-node clocks used by the
+  layered algorithms to account rounds under that equivalence.
+* :mod:`repro.localmodel.colorreduction` -- Linial/Cole-Vishkin O(log* n)
+  3-coloring of paths, both lock-step and message-passing.
+* :mod:`repro.localmodel.rulingset` -- distance-k selections on paths and
+  ordered structures, with the round-cost model for the paper's black-box
+  subroutines.
+"""
+
+from .colorreduction import (
+    LINIAL_FIXPOINT,
+    LinialPathProgram,
+    linial_new_color,
+    linial_parameters,
+    three_color_path,
+)
+from .gather import BallGatherProgram, KnownBall, gather_balls
+from .network import NodeContext, NodeProgram, RunStats, SyncNetwork
+from .rounds import NodeClocks, RoundLedger
+from .rulingset import (
+    charged_rounds_distance_k,
+    greedy_distance_k_selection,
+    log_star,
+    path_spaced_selection,
+)
+
+__all__ = [
+    "LINIAL_FIXPOINT",
+    "LinialPathProgram",
+    "linial_new_color",
+    "linial_parameters",
+    "three_color_path",
+    "BallGatherProgram",
+    "KnownBall",
+    "gather_balls",
+    "NodeContext",
+    "NodeProgram",
+    "RunStats",
+    "SyncNetwork",
+    "NodeClocks",
+    "RoundLedger",
+    "charged_rounds_distance_k",
+    "greedy_distance_k_selection",
+    "log_star",
+    "path_spaced_selection",
+]

@@ -1,0 +1,103 @@
+"""Ball gathering: the fundamental LOCAL-model primitive.
+
+In the LOCAL model with unbounded message sizes, ``r`` communication rounds
+are exactly equivalent to every node learning its radius-``r`` ball -- the
+induced topology plus all initial states within distance ``r``.  The paper
+leans on this equivalence everywhere ("collect Gamma^{10k}(v)" in
+Algorithm 3, "nodes can check locally whether ..." in Section 6.2).
+
+:class:`BallGatherProgram` realizes the primitive with genuine flooding on
+:class:`~repro.localmodel.network.SyncNetwork`: in every round each node
+forwards everything it has learned so far; after r rounds it knows each
+vertex at distance <= r together with that vertex's edges to other known
+vertices.  :func:`gather_balls` packages a full run; the equivalence tests
+check its output against direct BFS, which is what entitles the layered
+algorithms to use the cheaper accounting of :mod:`repro.localmodel.rounds`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
+
+from ..graphs.adjacency import Graph, Vertex
+from .network import NodeContext, NodeProgram, SyncNetwork
+
+__all__ = ["KnownBall", "BallGatherProgram", "gather_balls"]
+
+
+@dataclass
+class KnownBall:
+    """What a node knows after gathering: topology + states within radius."""
+
+    center: Vertex
+    radius: int
+    #: vertex -> its initial state
+    states: Dict[Vertex, Any]
+    #: edges among known vertices (each a sorted tuple)
+    edges: Set[Tuple[Vertex, Vertex]]
+
+    def as_graph(self) -> Graph:
+        """The known ball as a graph: known vertices, edges among them.
+
+        Flooding also reveals a fringe of edges toward vertices just
+        outside the ball (their IDs are visible but not their states);
+        those are kept in :attr:`edges` but excluded here.
+        """
+        inside = set(self.states)
+        return Graph(
+            vertices=inside,
+            edges=[e for e in self.edges if e[0] in inside and e[1] in inside],
+        )
+
+
+class BallGatherProgram(NodeProgram):
+    """Flood local knowledge for ``radius`` rounds.
+
+    Initial knowledge: own state and own incident edges (a node knows its
+    neighbors' IDs in the LOCAL model).  Every round, send all accumulated
+    knowledge to all neighbors.  After r rounds the node knows the states
+    of Gamma^r[v] and every edge with at least one endpoint in
+    Gamma^{r-1}[v] -- in particular the full induced subgraph on
+    Gamma^{r-1}[v] plus its boundary edges, exactly what the local-view
+    construction of Section 3 consumes.
+    """
+
+    def __init__(self, node: Vertex, neighbors: List[Vertex], radius: int, state: Any):
+        super().__init__(node, neighbors)
+        self.radius = radius
+        self._states: Dict[Vertex, Any] = {node: state}
+        self._edges: Set[Tuple[Vertex, Vertex]] = {
+            tuple(sorted((node, u))) for u in neighbors
+        }
+
+    def step(self, ctx: NodeContext) -> Mapping[Vertex, Any]:
+        for payload in ctx.inbox.values():
+            states, edges = payload
+            self._states.update(states)
+            self._edges.update(edges)
+        if ctx.round_number >= self.radius:
+            self.done = True
+            self.output = KnownBall(
+                center=self.node,
+                radius=self.radius,
+                states=dict(self._states),
+                edges=set(self._edges),
+            )
+            return {}
+        return self.broadcast((dict(self._states), set(self._edges)))
+
+
+def gather_balls(
+    graph: Graph, radius: int, states: Optional[Dict[Vertex, Any]] = None
+) -> Tuple[Dict[Vertex, KnownBall], int]:
+    """Run the flooding protocol; returns per-node balls and rounds used."""
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    state_of = states or {}
+    net = SyncNetwork(
+        graph,
+        lambda v, nbrs: BallGatherProgram(v, nbrs, radius, state_of.get(v)),
+    )
+    outputs = net.run(max_rounds=radius + 2)
+    return outputs, net.stats.rounds

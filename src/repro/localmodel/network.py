@@ -1,0 +1,140 @@
+"""Synchronous message-passing simulator for the LOCAL model.
+
+The LOCAL model (Section 1): the input graph is the communication network;
+every node hosts a computational entity knowing initially only its own ID
+and its neighbors' IDs.  Computation proceeds in synchronous rounds; per
+round each node performs unlimited local computation and then exchanges
+messages of unbounded size with its neighbors.  The complexity measure is
+the number of rounds.
+
+:class:`SyncNetwork` drives :class:`NodeProgram` instances round by round,
+collecting per-round message statistics.  The genuinely message-passing
+algorithms of the library (Luby's MIS, Cole-Vishkin color reduction, ball
+gathering) run on it directly; the large layered algorithms of the paper
+use the ball-equivalence accounting of :mod:`repro.localmodel.rounds`
+instead (see that module's docstring for why both exist).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Hashable, List, Mapping, Optional, Set
+
+from ..graphs.adjacency import Graph, Vertex
+
+__all__ = ["NodeProgram", "NodeContext", "SyncNetwork", "RunStats"]
+
+
+@dataclass
+class NodeContext:
+    """What a node can see when it takes a step.
+
+    ``inbox`` maps each neighbor to the message it sent in the previous
+    round (absent if it sent nothing).  ``round_number`` is 0 for the first
+    step, matching the convention that initialization happens "before round
+    zero"'s communication.
+    """
+
+    node: Vertex
+    neighbors: List[Vertex]
+    round_number: int
+    inbox: Dict[Vertex, Any]
+
+
+class NodeProgram:
+    """Base class for per-node algorithms.
+
+    Subclasses override :meth:`step`, returning the outbox: a mapping from
+    neighbor to message (use :meth:`broadcast` to message every neighbor).
+    A program signals completion by setting :attr:`done`; its result should
+    be left in :attr:`output`.  Messages returned in the same step as
+    ``done = True`` are still delivered, so a node can announce its final
+    state as it stops.
+    """
+
+    def __init__(self, node: Vertex, neighbors: List[Vertex]):
+        self.node = node
+        self.neighbors = list(neighbors)
+        self.done = False
+        self.output: Any = None
+
+    def step(self, ctx: NodeContext) -> Mapping[Vertex, Any]:
+        raise NotImplementedError
+
+    def broadcast(self, message: Any) -> Dict[Vertex, Any]:
+        return {u: message for u in self.neighbors}
+
+
+@dataclass
+class RunStats:
+    """Round and message accounting for a :class:`SyncNetwork` run."""
+
+    rounds: int = 0
+    messages_sent: int = 0
+    max_messages_per_round: int = 0
+
+    def record_round(self, messages: int) -> None:
+        self.rounds += 1
+        self.messages_sent += messages
+        self.max_messages_per_round = max(self.max_messages_per_round, messages)
+
+
+class SyncNetwork:
+    """Runs one :class:`NodeProgram` per node of a graph, synchronously."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        program_factory: Callable[[Vertex, List[Vertex]], NodeProgram],
+    ):
+        self.graph = graph
+        self.programs: Dict[Vertex, NodeProgram] = {
+            v: program_factory(v, sorted(graph.neighbors(v))) for v in graph.vertices()
+        }
+        self.stats = RunStats()
+        self._pending: Dict[Vertex, Dict[Vertex, Any]] = {v: {} for v in self.programs}
+
+    def run(self, max_rounds: int = 10_000) -> Dict[Vertex, Any]:
+        """Run until every program is done; returns the per-node outputs.
+
+        Raises ``RuntimeError`` if the round budget is exhausted first --
+        a deadlocked program is a bug that should fail loudly rather than
+        spin forever.
+        """
+        for _round in range(max_rounds):
+            if all(p.done for p in self.programs.values()):
+                return self.outputs()
+            self.step_round()
+        raise RuntimeError(
+            f"network did not terminate within {max_rounds} rounds; "
+            f"{sum(1 for p in self.programs.values() if not p.done)} nodes still running"
+        )
+
+    def step_round(self) -> None:
+        """Advance the whole network by one synchronous round."""
+        outboxes: Dict[Vertex, Mapping[Vertex, Any]] = {}
+        for v, program in self.programs.items():
+            if program.done:
+                continue
+            ctx = NodeContext(
+                node=v,
+                neighbors=program.neighbors,
+                round_number=self.stats.rounds,
+                inbox=self._pending[v],
+            )
+            outboxes[v] = program.step(ctx) or {}
+        message_count = 0
+        new_pending: Dict[Vertex, Dict[Vertex, Any]] = {v: {} for v in self.programs}
+        for sender, outbox in outboxes.items():
+            for receiver, message in outbox.items():
+                if not self.graph.has_edge(sender, receiver):
+                    raise ValueError(
+                        f"node {sender!r} tried to message non-neighbor {receiver!r}"
+                    )
+                new_pending[receiver][sender] = message
+                message_count += 1
+        self._pending = new_pending
+        self.stats.record_round(message_count)
+
+    def outputs(self) -> Dict[Vertex, Any]:
+        return {v: p.output for v, p in self.programs.items()}

@@ -1,0 +1,137 @@
+"""Stock message-passing programs for the synchronous simulator.
+
+Small self-contained :class:`NodeProgram` implementations that exercise
+the engine and serve as building blocks:
+
+* :class:`BFSLayerProgram` -- distance from a root via flooding (the
+  textbook BFS tree; distance output doubles as a termination witness);
+* :class:`LeaderElectionProgram` -- minimum-ID leader election by
+  flooding, terminating after a given round budget (diameter bound);
+* :class:`EchoCountProgram` -- convergecast on a rooted tree: the root
+  learns the number of nodes (the "echo" half of propagation of
+  information with feedback).
+
+These run on arbitrary graphs and are used in tests both for their own
+behavior and as evidence the engine delivers/synchronizes correctly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Set
+
+from ..graphs.adjacency import Graph, Vertex
+from .network import NodeContext, NodeProgram, SyncNetwork
+
+__all__ = [
+    "BFSLayerProgram",
+    "LeaderElectionProgram",
+    "EchoCountProgram",
+    "bfs_layers",
+    "elect_leader",
+    "tree_count",
+]
+
+
+class BFSLayerProgram(NodeProgram):
+    """Distance-from-root by flooding; output = the distance (or None)."""
+
+    def __init__(self, node: Vertex, neighbors: List[Vertex], root: Vertex, budget: int):
+        super().__init__(node, neighbors)
+        self.distance: Optional[int] = 0 if node == root else None
+        self.budget = budget
+        self.announced = False
+
+    def step(self, ctx: NodeContext) -> Mapping[Vertex, Any]:
+        for _, dist in ctx.inbox.items():
+            candidate = dist + 1
+            if self.distance is None or candidate < self.distance:
+                self.distance = candidate
+        if ctx.round_number >= self.budget:
+            self.done = True
+            self.output = self.distance
+            return {}
+        if self.distance is not None and not self.announced:
+            self.announced = True
+            return self.broadcast(self.distance)
+        return {}
+
+
+def bfs_layers(graph: Graph, root: Vertex, budget: Optional[int] = None) -> Dict[Vertex, Optional[int]]:
+    """Distances from ``root`` computed by message passing."""
+    budget = budget if budget is not None else len(graph) + 1
+    net = SyncNetwork(
+        graph, lambda v, nbrs: BFSLayerProgram(v, nbrs, root, budget)
+    )
+    return net.run(max_rounds=budget + 2)
+
+
+class LeaderElectionProgram(NodeProgram):
+    """Minimum-ID flooding election; output = the elected leader's ID."""
+
+    def __init__(self, node: Vertex, neighbors: List[Vertex], budget: int):
+        super().__init__(node, neighbors)
+        self.best = node
+        self.budget = budget
+
+    def step(self, ctx: NodeContext) -> Mapping[Vertex, Any]:
+        improved = False
+        for candidate in ctx.inbox.values():
+            if candidate < self.best:
+                self.best = candidate
+                improved = True
+        if ctx.round_number >= self.budget:
+            self.done = True
+            self.output = self.best
+            return {}
+        if ctx.round_number == 0 or improved:
+            return self.broadcast(self.best)
+        return {}
+
+
+def elect_leader(graph: Graph, budget: Optional[int] = None) -> Dict[Vertex, Vertex]:
+    """Every node's view of the leader after ``budget`` rounds."""
+    budget = budget if budget is not None else len(graph) + 1
+    net = SyncNetwork(graph, lambda v, nbrs: LeaderElectionProgram(v, nbrs, budget))
+    return net.run(max_rounds=budget + 2)
+
+
+class EchoCountProgram(NodeProgram):
+    """Convergecast subtree sizes toward a root of a tree.
+
+    Leaves report 1; internal nodes wait for all children then report
+    1 + sum.  The root's output is n; other nodes output their subtree
+    size.  Requires the communication graph to be a tree.
+    """
+
+    def __init__(self, node: Vertex, neighbors: List[Vertex], root: Vertex):
+        super().__init__(node, neighbors)
+        self.root = root
+        self.reported: Dict[Vertex, int] = {}
+        self.sent = False
+
+    def step(self, ctx: NodeContext) -> Mapping[Vertex, Any]:
+        self.reported.update(ctx.inbox)
+        pending = [u for u in self.neighbors if u not in self.reported]
+        subtree = 1 + sum(self.reported.values())
+        if self.node == self.root:
+            if not pending:
+                self.done = True
+                self.output = subtree
+            return {}
+        if len(pending) == 1 and not self.sent:
+            # every child reported; the remaining neighbor is the parent,
+            # and sending upward completes this node's role
+            self.sent = True
+            self.done = True
+            self.output = subtree
+            return {pending[0]: subtree}
+        return {}
+
+
+def tree_count(tree: Graph, root: Vertex) -> int:
+    """The number of tree nodes, learned by the root via convergecast."""
+    if len(tree) == 1:
+        return 1
+    net = SyncNetwork(tree, lambda v, nbrs: EchoCountProgram(v, nbrs, root))
+    outputs = net.run(max_rounds=4 * len(tree) + 8)
+    return outputs[root]

@@ -1,0 +1,15 @@
+"""The Theorem 9 lower-bound experiment (Section 8)."""
+
+from .mis_path import (
+    LowerBoundSample,
+    anchor_parity_mis,
+    anchor_radius,
+    measure_r_round_mis,
+)
+
+__all__ = [
+    "LowerBoundSample",
+    "anchor_parity_mis",
+    "anchor_radius",
+    "measure_r_round_mis",
+]

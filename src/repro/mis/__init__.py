@@ -1,0 +1,36 @@
+"""Independent set algorithms (Sections 6 and 7 of the paper).
+
+* :mod:`repro.mis.exact` -- Gavril's exact MIS on chordal graphs (baseline
+  and exact subroutine),
+* :mod:`repro.mis.interval_mis` -- Algorithm 5, the (1 + eps)-approximate
+  MIS on interval graphs (Theorems 5-6),
+* :mod:`repro.mis.absorbing` -- absorbing maximum independent sets,
+* :mod:`repro.mis.chordal_mis` -- Algorithm 6, the (1 + eps)-approximate
+  MIS on chordal graphs (Theorems 7-8).
+"""
+
+from .absorbing import absorbing_mis, is_absorbing
+from .chordal_mis import ChordalMISResult, chordal_mis, mis_peeling_parameters
+from .distributed_mis import DistributedMISReport, distributed_chordal_mis
+from .exact import (
+    greedy_simplicial_mis,
+    independence_number_chordal,
+    maximum_independent_set_chordal,
+)
+from .interval_mis import IntervalMISResult, interval_mis, mis_parameters
+
+__all__ = [
+    "absorbing_mis",
+    "is_absorbing",
+    "ChordalMISResult",
+    "chordal_mis",
+    "mis_peeling_parameters",
+    "DistributedMISReport",
+    "distributed_chordal_mis",
+    "greedy_simplicial_mis",
+    "independence_number_chordal",
+    "maximum_independent_set_chordal",
+    "IntervalMISResult",
+    "interval_mis",
+    "mis_parameters",
+]

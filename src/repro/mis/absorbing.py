@@ -1,0 +1,77 @@
+"""Absorbing maximum independent sets (Section 7.1).
+
+Algorithm 6 needs, for small components H (independence number < d) peeled
+before the last iteration, a maximum independent set I_H that *absorbs*
+its neighborhood:
+
+    |I_H| = alpha( Gamma_{G_i}[I_H] \\ Gamma_G[I] )
+
+so that charging the adversary's independent set to I_H's closed
+neighborhood loses nothing.  The paper's construction: such a component
+has neighbors in at most one clique C of T_i outside its path (a second
+one would force diam >= 2d + 3, contradicting alpha(H) < d); taking the
+simplicial vertex *furthest from C* first, and iterating on the shrunken
+graph, yields a maximum independent set with the absorbing property.
+
+:func:`absorbing_mis` implements that rule via
+:func:`repro.mis.exact.greedy_simplicial_mis` with remoteness priorities;
+:func:`is_absorbing` is the (exponential-free) checker used by tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set
+
+from ..graphs.adjacency import Graph, Vertex
+from .exact import greedy_simplicial_mis, maximum_independent_set_chordal
+
+__all__ = ["absorbing_mis", "is_absorbing"]
+
+
+def absorbing_mis(
+    component: Graph,
+    ambient: Graph,
+    anchor: Optional[Iterable[Vertex]] = None,
+) -> Set[Vertex]:
+    """A maximum independent set of ``component`` absorbing toward ``anchor``.
+
+    ``component`` is the small graph H; ``ambient`` is the graph G_i
+    distances are measured in (H plus its surroundings); ``anchor`` is the
+    outside clique C that H touches, or None when H touches nothing
+    outside its path (any maximum independent set is absorbing then).
+    """
+    if anchor is None:
+        return maximum_independent_set_chordal(component)
+    anchor = set(anchor)
+    # Remoteness from C in the ambient graph: min distance to any anchor
+    # member; unreachable vertices count as infinitely remote.
+    remoteness: Dict[Vertex, float] = {v: float("inf") for v in component.vertices()}
+    frontier = [u for u in anchor if u in ambient]
+    dist: Dict[Vertex, int] = {u: 0 for u in frontier}
+    d = 0
+    while frontier:
+        d += 1
+        nxt = []
+        for u in frontier:
+            for w in ambient.neighbors(u):
+                if w not in dist:
+                    dist[w] = d
+                    nxt.append(w)
+        frontier = nxt
+    for v in component.vertices():
+        if v in dist:
+            remoteness[v] = float(dist[v])
+    return greedy_simplicial_mis(component, priority=remoteness)
+
+
+def is_absorbing(
+    independent: Set[Vertex],
+    component: Graph,
+    ambient: Graph,
+    excluded: Set[Vertex],
+) -> bool:
+    """Check |I_H| = alpha(Gamma_ambient[I_H] - excluded) (the paper's
+    absorbing property, with ``excluded`` = Gamma_G[I])."""
+    closed = ambient.closed_set_neighborhood(independent) - set(excluded)
+    region = ambient.induced_subgraph(closed & set(ambient.vertices()))
+    return len(independent) == len(maximum_independent_set_chordal(region))

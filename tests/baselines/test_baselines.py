@@ -1,0 +1,91 @@
+"""Baselines: Luby's MIS and (Delta + 1) colorings."""
+
+import math
+
+import pytest
+
+from repro.baselines import (
+    distributed_delta_plus_one,
+    luby_mis,
+    sequential_greedy_coloring,
+)
+from repro.graphs import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    is_maximal_independent_set,
+    is_proper_coloring,
+    num_colors,
+    path_graph,
+    random_chordal_graph,
+    star_graph,
+)
+
+
+class TestLuby:
+    def test_produces_maximal_independent_set(self):
+        for seed in range(5):
+            g = random_chordal_graph(40, seed=seed)
+            mis, rounds = luby_mis(g, seed=seed)
+            assert is_maximal_independent_set(g, mis)
+            assert rounds >= 1
+
+    def test_works_on_non_chordal_graphs_too(self):
+        g = cycle_graph(20)
+        mis, _ = luby_mis(g, seed=3)
+        assert is_maximal_independent_set(g, mis)
+
+    def test_complete_graph_selects_one(self):
+        mis, _ = luby_mis(complete_graph(10), seed=1)
+        assert len(mis) == 1
+
+    def test_logarithmic_rounds(self):
+        g = path_graph(400)
+        _, rounds = luby_mis(g, seed=0)
+        # whp O(log n) phases, each 2-3 rounds; generous cap
+        assert rounds <= 20 * math.ceil(math.log2(400))
+
+    def test_deterministic_given_seed(self):
+        g = random_chordal_graph(30, seed=2)
+        assert luby_mis(g, seed=5)[0] == luby_mis(g, seed=5)[0]
+
+    def test_suboptimal_on_paths(self):
+        """The gap the paper closes: maximal != maximum on paths."""
+        g = path_graph(1001)
+        sizes = [len(luby_mis(g, seed=s)[0]) for s in range(3)]
+        assert all(size < 501 for size in sizes)
+
+
+class TestSequentialGreedy:
+    def test_proper_and_within_delta_plus_one(self):
+        for seed in range(5):
+            g = random_chordal_graph(35, seed=seed)
+            coloring = sequential_greedy_coloring(g)
+            assert is_proper_coloring(g, coloring)
+            assert num_colors(coloring) <= g.max_degree() + 1
+
+    def test_respects_order(self):
+        g = path_graph(3)
+        coloring = sequential_greedy_coloring(g, order=[1, 0, 2])
+        assert coloring[1] == 1
+
+
+class TestDistributedDeltaPlusOne:
+    def test_proper_coloring(self):
+        for seed in range(4):
+            g = random_chordal_graph(35, seed=seed)
+            coloring, rounds = distributed_delta_plus_one(g, seed=seed)
+            assert is_proper_coloring(g, coloring)
+            assert num_colors(coloring) <= g.max_degree() + 1
+            assert rounds >= 1
+
+    def test_star_uses_many_fewer_colors_than_palette(self):
+        """On stars Delta + 1 = n but only 2 colors are ever needed --
+        the chi-vs-Delta gap motivating the paper."""
+        g = star_graph(30)
+        coloring, _ = distributed_delta_plus_one(g, seed=0)
+        assert is_proper_coloring(g, coloring)
+
+    def test_empty_graph(self):
+        coloring, rounds = distributed_delta_plus_one(Graph(), seed=0)
+        assert coloring == {}

@@ -1,0 +1,129 @@
+"""Algorithm 1: (1 + eps)-approximation MVC on chordal graphs (Theorem 3)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coloring.chordal_mvc import color_chordal_graph
+from repro.graphs import (
+    Graph,
+    NotChordalError,
+    caterpillar,
+    clique_number,
+    complete_graph,
+    cycle_graph,
+    is_proper_coloring,
+    paper_example_graph,
+    path_graph,
+    random_chordal_graph,
+    random_interval_graph,
+    random_k_tree,
+    random_tree,
+)
+
+
+def check_result(graph, result):
+    assert is_proper_coloring(graph, result.coloring)
+    chi = clique_number(graph)
+    assert result.chi == chi
+    bound = chi + chi // result.parameters.k + 1
+    assert result.num_colors() <= bound, (
+        f"{result.num_colors()} colors > bound {bound} (chi={chi})"
+    )
+
+
+class TestBasics:
+    def test_requires_exactly_one_parameter(self):
+        g = path_graph(4)
+        with pytest.raises(ValueError):
+            color_chordal_graph(g)
+        with pytest.raises(ValueError):
+            color_chordal_graph(g, epsilon=0.5, k=4)
+
+    def test_rejects_non_chordal(self):
+        with pytest.raises(NotChordalError):
+            color_chordal_graph(cycle_graph(6), k=2)
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ValueError):
+            color_chordal_graph(path_graph(3), epsilon=0.0)
+
+    def test_empty_graph(self):
+        result = color_chordal_graph(Graph(), k=2)
+        assert result.coloring == {}
+        assert result.chi == 0
+
+    def test_single_vertex(self):
+        g = Graph(vertices=[7])
+        result = color_chordal_graph(g, k=2)
+        assert result.coloring.keys() == {7}
+
+
+class TestFamilies:
+    def test_paths(self):
+        for n in (1, 2, 10, 200):
+            g = path_graph(n)
+            check_result(g, color_chordal_graph(g, k=3))
+
+    def test_complete_graphs(self):
+        for n in (2, 5, 12):
+            g = complete_graph(n)
+            result = color_chordal_graph(g, k=3)
+            check_result(g, result)
+            assert result.num_colors() == n  # optimal: one bag, greedy
+
+    def test_trees(self):
+        for seed in range(5):
+            g = random_tree(120, seed=seed)
+            check_result(g, color_chordal_graph(g, k=2))
+
+    def test_caterpillar(self):
+        g = caterpillar(spine=60, legs_per_vertex=3)
+        check_result(g, color_chordal_graph(g, k=2))
+
+    def test_paper_example(self):
+        g = paper_example_graph()
+        result = color_chordal_graph(g, k=2)
+        check_result(g, result)
+
+    def test_k_trees(self):
+        for seed in range(4):
+            g = random_k_tree(80, 4, seed=seed)
+            check_result(g, color_chordal_graph(g, k=3))
+
+    def test_interval_inputs(self):
+        for seed in range(4):
+            g = random_interval_graph(60, seed=seed, max_length=0.1)
+            check_result(g, color_chordal_graph(g, k=2))
+
+    def test_epsilon_interface(self):
+        g = random_chordal_graph(50, seed=11)
+        result = color_chordal_graph(g, epsilon=0.5)
+        assert result.parameters.k == 4
+        check_result(g, result)
+
+    def test_theorem3_bound_with_large_chi(self):
+        """For eps > 2/chi the bound (1+eps)chi of Theorem 3 holds."""
+        g = random_k_tree(100, 9, seed=0)  # chi = 10
+        chi = clique_number(g)
+        k = 4  # eps = 1/2 > 2/10
+        result = color_chordal_graph(g, k=k)
+        check_result(g, result)
+        assert result.num_colors() <= (1 + 2.0 / k) * chi
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 10_000), n=st.integers(1, 45), k=st.integers(1, 5))
+def test_algorithm1_property(seed, n, k):
+    g = random_chordal_graph(n, seed=seed)
+    result = color_chordal_graph(g, k=k)
+    check_result(g, result)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 5_000), n=st.integers(50, 120))
+def test_algorithm1_on_larger_sparse_graphs(seed, n):
+    g = random_chordal_graph(n, seed=seed, tree_size=n)
+    result = color_chordal_graph(g, k=2)
+    check_result(g, result)

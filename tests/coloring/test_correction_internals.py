@@ -1,0 +1,96 @@
+"""Internals of the color correction phase (Lemma 10 / CorrectChildren)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coloring import color_chordal_graph, conflict_boundary
+from repro.graphs import (
+    caterpillar,
+    is_proper_coloring,
+    paper_example_graph,
+    random_chordal_graph,
+)
+
+
+class TestConflictBoundary:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 5_000), n=st.integers(5, 40))
+    def test_w_prime_subset_of_attachments(self, seed, n):
+        """Lemma 8: W' lives inside the attachment cliques C_s/C_e."""
+        g = random_chordal_graph(n, seed=seed)
+        result = color_chordal_graph(g, k=1)
+        peeling = result.peeling
+        for layer_paths in peeling.layers:
+            for peeled in layer_paths:
+                w_prime = conflict_boundary(g, peeling, peeled)
+                allowed = set()
+                for att in peeled.attachments:
+                    allowed |= att
+                assert w_prime <= allowed
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 5_000), n=st.integers(5, 40))
+    def test_w_prime_in_higher_layers(self, seed, n):
+        g = random_chordal_graph(n, seed=seed)
+        result = color_chordal_graph(g, k=1)
+        peeling = result.peeling
+        for layer_paths in peeling.layers:
+            for peeled in layer_paths:
+                for u in conflict_boundary(g, peeling, peeled):
+                    assert peeling.layer_of[u] > peeled.layer
+
+    def test_whole_component_paths_have_empty_boundary(self):
+        g = caterpillar(spine=10, legs_per_vertex=0)  # just a path
+        result = color_chordal_graph(g, k=1)
+        (layer,) = result.peeling.layers
+        for peeled in layer:
+            assert conflict_boundary(g, result.peeling, peeled) == set()
+
+
+class TestCorrectionLocality:
+    def test_deep_interior_keeps_phase2_colors(self):
+        """On a long caterpillar, correction must not touch nodes far from
+        every attachment clique (the paper's distance-(k+3) locality)."""
+        from repro.coloring.chordal_mvc import correct_path_colors
+        from repro.coloring.interval_coloring import color_interval_component
+
+        g = caterpillar(spine=2000, legs_per_vertex=1)
+        result = color_chordal_graph(g, k=1)
+        assert is_proper_coloring(g, result.coloring)
+        # rebuild phase-2 colors for the largest first-layer path and diff
+        peeling = result.peeling
+        big = max(peeling.layers[0], key=lambda p: len(p.nodes))
+        sub = g.induced_subgraph(big.nodes)
+        phase2 = color_interval_component(
+            sub, big.layer_bags(), 1,
+            palette=list(range(1, result.palette_size + 1)),
+        ).coloring
+        changed = [v for v in big.nodes if result.coloring[v] != phase2[v]]
+        d = result.parameters.recolor_distance
+        boundary = set()
+        for att in big.attachments:
+            boundary |= att
+        if boundary:
+            for v in changed:
+                dist = min(
+                    (g.distance(v, u) or 10**9) for u in boundary
+                )
+                # every recolored node sits within the recoloring zone
+                # (zone width: one cut block past the recolor distance)
+                assert dist <= 4 * d, f"node {v} recolored at distance {dist}"
+
+
+class TestPaletteAdherence:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 5_000), n=st.integers(2, 45), k=st.integers(1, 4))
+    def test_colors_stay_inside_global_palette(self, seed, n, k):
+        g = random_chordal_graph(n, seed=seed)
+        result = color_chordal_graph(g, k=k)
+        assert set(result.coloring.values()) <= set(
+            range(1, result.palette_size + 1)
+        )
+
+    def test_paper_example_palette(self):
+        g = paper_example_graph()
+        result = color_chordal_graph(g, k=2)
+        assert set(result.coloring.values()) <= {1, 2, 3, 4, 5}

@@ -1,0 +1,122 @@
+"""PathBags: positions, restriction, cut chains, validation."""
+
+import pytest
+
+from repro.coloring import PathBags
+from repro.graphs import Graph, path_graph
+
+
+def simple_bags():
+    return PathBags([{1, 2}, {2, 3}, {3, 4}, {4, 5}])
+
+
+class TestPositions:
+    def test_first_last(self):
+        bags = simple_bags()
+        assert bags.first(2) == 0 and bags.last(2) == 1
+        assert bags.first(4) == 2 and bags.last(4) == 3
+
+    def test_vertex_order(self):
+        bags = simple_bags()
+        assert bags.vertex_order() == [1, 2, 3, 4, 5]
+
+    def test_alive_and_right(self):
+        bags = simple_bags()
+        assert set(bags.alive_at_or_after(2)) == {3, 4, 5}
+        assert set(bags.strictly_right_of(1)) == {4, 5}
+
+    def test_contains(self):
+        bags = simple_bags()
+        assert 3 in bags
+        assert 99 not in bags
+
+    def test_empty_bags_dropped(self):
+        bags = PathBags([{1}, set(), {2}])
+        assert len(bags) == 2
+
+    def test_max_bag_size(self):
+        assert simple_bags().max_bag_size() == 2
+        assert PathBags([]).max_bag_size() == 0
+
+
+class TestValidation:
+    def test_valid_path_decomposition(self):
+        g = path_graph(5)
+        bags = PathBags([{0, 1}, {1, 2}, {2, 3}, {3, 4}])
+        bags.validate(g)
+
+    def test_missing_edge_detected(self):
+        g = path_graph(3)
+        with pytest.raises(ValueError, match="no bag"):
+            PathBags([{0, 1}, {2}]).validate(g)
+
+    def test_non_clique_bag_detected(self):
+        g = Graph(vertices=[0, 1, 2], edges=[(0, 1)])
+        with pytest.raises(ValueError, match="not a clique"):
+            PathBags([{0, 1, 2}]).validate(g)
+
+    def test_broken_run_detected(self):
+        g = Graph(vertices=[0, 1, 2], edges=[(0, 1), (1, 2)])
+        with pytest.raises(ValueError, match="not consecutive"):
+            PathBags([{0, 1}, {2, 1}, {0}]).validate(
+                Graph(vertices=[0, 1, 2], edges=[(0, 1), (1, 2)])
+            )
+
+    def test_coverage_mismatch_detected(self):
+        g = path_graph(3)
+        with pytest.raises(ValueError, match="cover"):
+            PathBags([{0, 1}]).validate(g)
+
+
+class TestDerivation:
+    def test_restriction(self):
+        bags = simple_bags()
+        sub = bags.restricted_to({2, 3, 4})
+        # bags become [{2}, {2,3}, {3,4}, {4}]: all non-empty survive
+        assert len(sub) == 4
+        assert sub.vertices() == [2, 3, 4]
+
+    def test_restriction_keeps_runs_consecutive(self):
+        bags = PathBags([{1, 9}, {2, 9}, {3, 9}])
+        sub = bags.restricted_to({1, 3, 9})
+        # middle bag becomes {9}; 9's run must still be consecutive
+        g = Graph(vertices=[1, 3, 9], edges=[(1, 9), (3, 9)])
+        sub.validate(g)
+
+    def test_subrange(self):
+        bags = simple_bags()
+        sub = bags.subrange(1, 2)
+        assert sub.vertices() == [2, 3, 4]
+
+    def test_reversed(self):
+        bags = simple_bags()
+        rev = bags.reversed_()
+        assert rev.first(5) == 0
+        assert rev.last(1) == 3
+
+    def test_extended(self):
+        bags = simple_bags()
+        ext = bags.extended(left={0, 1}, right={5, 6})
+        assert len(ext) == 6
+        assert ext.first(0) == 0
+        assert ext.last(6) == 5
+
+
+class TestCutChains:
+    def test_disjoint_chain_on_path(self):
+        g = path_graph(10)
+        bags = PathBags([{i, i + 1} for i in range(9)])
+        cuts = bags.disjoint_cut_positions(0, 8)
+        # consecutive cuts share no vertex
+        for a, b in zip(cuts, cuts[1:]):
+            assert not (bags.bags[a] & bags.bags[b])
+
+    def test_avoid_seed(self):
+        bags = PathBags([{1, 2}, {2, 3}, {3, 4}, {4, 5}])
+        cuts = bags.disjoint_cut_positions(1, 3, avoid={1, 2})
+        assert cuts  # some cut exists
+        assert not (bags.bags[cuts[0]] & {1, 2})
+
+    def test_empty_range(self):
+        bags = simple_bags()
+        assert bags.disjoint_cut_positions(3, 1) == []

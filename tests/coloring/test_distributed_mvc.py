@@ -1,0 +1,111 @@
+"""Algorithm 2-4: distributed behavior -- local decisions, parents, rounds."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coloring.chordal_mvc import color_chordal_graph
+from repro.coloring.distributed_mvc import (
+    distributed_color_chordal,
+    local_layer_decision,
+)
+from repro.coloring.parameters import ColoringParameters
+from repro.graphs import (
+    clique_number,
+    is_proper_coloring,
+    paper_example_graph,
+    path_graph,
+    random_chordal_graph,
+    random_tree,
+)
+
+
+class TestLocalDecisions:
+    """Algorithm 3's per-node rule agrees with the centralized peeling
+    (the coherence claim of Section 3)."""
+
+    @settings(max_examples=12, deadline=None)
+    @given(seed=st.integers(0, 3_000), n=st.integers(2, 26))
+    def test_agreement_with_centralized(self, seed, n):
+        g = random_chordal_graph(n, seed=seed)
+        params = ColoringParameters.from_k(1)
+        result = color_chordal_graph(g, k=1)
+        peeling = result.peeling
+        current = g.copy()
+        for i in range(1, peeling.num_layers() + 1):
+            layer = peeling.nodes_of_layer(i)
+            for v in sorted(current.vertices()):
+                assert local_layer_decision(current, v, params) == (v in layer), (
+                    f"node {v} disagrees at iteration {i}"
+                )
+            current.remove_vertices(layer)
+
+    def test_paper_example_first_layer(self):
+        g = paper_example_graph()
+        params = ColoringParameters.from_k(1)
+        result = color_chordal_graph(g, k=1)
+        layer1 = result.peeling.nodes_of_layer(1)
+        for v in g.vertices():
+            assert local_layer_decision(g, v, params) == (v in layer1)
+
+
+class TestParents:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 3_000), n=st.integers(2, 30))
+    def test_corollary2_parents_in_higher_layers(self, seed, n):
+        g = random_chordal_graph(n, seed=seed)
+        report = distributed_color_chordal(g, k=2)
+        layer_of = report.result.peeling.layer_of
+        for v, parent in report.parents.items():
+            if parent is not None:
+                assert layer_of[parent] > layer_of[v]
+
+    def test_parent_within_recolor_distance(self):
+        g = random_chordal_graph(40, seed=5)
+        report = distributed_color_chordal(g, k=1)
+        d = report.result.parameters.recolor_distance
+        for v, parent in report.parents.items():
+            if parent is not None:
+                assert g.distance(v, parent) <= d
+
+
+class TestRounds:
+    def test_same_output_as_centralized(self):
+        g = random_chordal_graph(60, seed=9)
+        central = color_chordal_graph(g, k=2)
+        report = distributed_color_chordal(g, k=2)
+        assert report.coloring == central.coloring
+
+    def test_round_structure(self):
+        g = random_chordal_graph(80, seed=3, tree_size=80)
+        report = distributed_color_chordal(g, k=2)
+        assert is_proper_coloring(g, report.coloring)
+        params = report.result.parameters
+        layers = report.result.peeling.num_layers()
+        assert report.pruning_rounds == layers * params.collect_radius
+        assert report.total_rounds >= report.pruning_rounds
+        # finish times respect the phase ordering
+        for v, t in report.finish_time.items():
+            layer = report.result.peeling.layer_of[v]
+            assert t >= report.coloring_finish[layer - 1]
+
+    def test_rounds_scale_with_log_n(self):
+        """Theorem 4 shape: rounds ~ k * layers = O(k log n)."""
+        import random as _random
+
+        small = distributed_color_chordal(random_tree(60, seed=1), k=2)
+        large = distributed_color_chordal(random_tree(2000, seed=1), k=2)
+        layers_small = small.result.peeling.num_layers()
+        layers_large = large.result.peeling.num_layers()
+        assert layers_large <= math.ceil(math.log2(2000)) + 1
+        # rounds grow with layers, not with n directly
+        ratio_rounds = large.total_rounds / max(1, small.total_rounds)
+        ratio_n = 2000 / 60
+        assert ratio_rounds < ratio_n / 2
+
+    def test_empty_graph(self):
+        from repro.graphs import Graph
+
+        report = distributed_color_chordal(Graph(), k=2)
+        assert report.total_rounds == 0

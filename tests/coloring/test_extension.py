@@ -1,0 +1,201 @@
+"""The constructive recoloring lemma (extension morph) -- Lemma 9's stand-in."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cliquetree import clique_paths_of_interval_graph
+from repro.coloring.decomposition import PathBags
+from repro.coloring.extension import (
+    MorphError,
+    complete_permutation,
+    cycle_moves,
+    extend_path_coloring,
+)
+from repro.coloring.greedy import preference_greedy
+from repro.coloring.parameters import required_morph_distance
+from repro.graphs import (
+    Graph,
+    is_proper_coloring,
+    path_graph,
+    random_interval_graph,
+)
+
+
+def path_bags_of(graph):
+    """Clique path of a connected interval graph as PathBags."""
+    (path,) = clique_paths_of_interval_graph(graph)
+    return PathBags(path)
+
+
+def long_interval_graph(n, seed, max_length=0.02):
+    """A connected, elongated interval graph (large diameter)."""
+    rng = random.Random(seed)
+    intervals = {}
+    x = 0.0
+    for v in range(n):
+        length = rng.uniform(1.0, 1.5)  # always longer than the next step
+        intervals[v] = (x, x + length)
+        x += rng.uniform(0.1, 0.9)
+    from repro.graphs import interval_graph_from_intervals
+
+    return interval_graph_from_intervals(intervals)
+
+
+class TestPermutationHelpers:
+    def test_complete_permutation_identity(self):
+        sigma = complete_permutation({}, [1, 2, 3])
+        assert sigma == {1: 1, 2: 2, 3: 3}
+
+    def test_complete_permutation_extends(self):
+        sigma = complete_permutation({1: 2}, [1, 2, 3])
+        assert sigma[1] == 2
+        assert sorted(sigma.values()) == [1, 2, 3]
+
+    def test_rejects_non_injective(self):
+        with pytest.raises(ValueError):
+            complete_permutation({1: 3, 2: 3}, [1, 2, 3])
+
+    def test_rejects_outside_palette(self):
+        with pytest.raises(ValueError):
+            complete_permutation({1: 9}, [1, 2, 3])
+
+    def test_cycle_moves_transposition(self):
+        moves = cycle_moves({1: 2, 2: 1, 3: 3}, relay=-1)
+        assert len(moves) == 1
+        assert moves[0] == [(2, -1), (1, 2), (-1, 1)]
+
+    def test_cycle_moves_three_cycle(self):
+        moves = cycle_moves({1: 2, 2: 3, 3: 1}, relay=-1)
+        (seq,) = moves
+        assert seq == [(3, -1), (2, 3), (1, 2), (-1, 1)]
+
+
+class TestExtendOnPaths:
+    def test_no_boundaries_is_greedy(self):
+        g = path_graph(10)
+        bags = path_bags_of(g)
+        coloring = extend_path_coloring(g, bags, palette=[1, 2, 3])
+        assert is_proper_coloring(g, coloring)
+        assert set(coloring.values()) <= {1, 2}
+
+    def test_left_boundary_respected(self):
+        g = path_graph(10)
+        bags = path_bags_of(g)
+        fixed = {0: 3}
+        coloring = extend_path_coloring(g, bags, [1, 2, 3], fixed_left=fixed)
+        assert is_proper_coloring(g, coloring)
+        assert coloring[0] == 3
+
+    def test_right_boundary_respected(self):
+        g = path_graph(10)
+        bags = path_bags_of(g)
+        fixed = {9: 3}
+        coloring = extend_path_coloring(g, bags, [1, 2, 3], fixed_right=fixed)
+        assert is_proper_coloring(g, coloring)
+        assert coloring[9] == 3
+
+    def test_both_boundaries_on_long_path(self):
+        g = path_graph(30)
+        bags = path_bags_of(g)
+        coloring = extend_path_coloring(
+            g,
+            bags,
+            [1, 2, 3],
+            fixed_left={0: 2, 1: 3},
+            fixed_right={28: 3, 29: 2},
+        )
+        assert is_proper_coloring(g, coloring)
+        assert coloring[0] == 2 and coloring[1] == 3
+        assert coloring[28] == 3 and coloring[29] == 2
+        assert set(coloring.values()) <= {1, 2, 3}
+
+    def test_improper_boundary_rejected(self):
+        g = path_graph(10)
+        bags = path_bags_of(g)
+        with pytest.raises(ValueError):
+            extend_path_coloring(
+                g, bags, [1, 2, 3], fixed_left={0: 1, 1: 1}
+            )
+
+    def test_short_path_raises_morph_error(self):
+        g = path_graph(3)
+        bags = path_bags_of(g)
+        with pytest.raises(MorphError):
+            extend_path_coloring(
+                g, bags, [1, 2], fixed_left={0: 1}, fixed_right={2: 2}
+            )
+
+
+class TestExtendOnIntervalGraphs:
+    def _boundary_coloring(self, graph, bag, palette, rng):
+        members = sorted(bag)
+        colors = rng.sample(sorted(palette), len(members))
+        return dict(zip(members, colors))
+
+    def test_random_instances(self):
+        rng = random.Random(42)
+        for seed in range(12):
+            g = long_interval_graph(60, seed=seed)
+            bags = path_bags_of(g)
+            chi = bags.max_bag_size()
+            palette = list(range(1, chi + 2))  # one spare
+            fixed_left = self._boundary_coloring(g, bags.bags[0], palette, rng)
+            fixed_right = self._boundary_coloring(g, bags.bags[-1], palette, rng)
+            coloring = extend_path_coloring(
+                g, bags, palette, fixed_left=fixed_left, fixed_right=fixed_right
+            )
+            assert is_proper_coloring(g, coloring)
+            for v, c in {**fixed_left, **fixed_right}.items():
+                assert coloring[v] == c
+            assert set(coloring.values()) <= set(palette)
+
+    def test_adversarial_high_boundary_colors(self):
+        """Boundary colors disjoint from [1..chi]: the preference trick."""
+        g = path_graph(40)
+        bags = path_bags_of(g)
+        palette = [1, 2, 3, 90, 91]
+        coloring = extend_path_coloring(
+            g,
+            bags,
+            palette,
+            fixed_left={0: 90, 1: 91},
+            fixed_right={38: 91, 39: 90},
+        )
+        assert is_proper_coloring(g, coloring)
+        assert coloring[0] == 90 and coloring[39] == 90
+
+    def test_distance_bound_sufficient(self):
+        """required_morph_distance bags always suffice on a path."""
+        chi, spares = 2, 1
+        n = required_morph_distance(chi, spares) + 2
+        g = path_graph(n)
+        bags = path_bags_of(g)
+        coloring = extend_path_coloring(
+            g,
+            bags,
+            [1, 2, 3],
+            fixed_left={0: 3},
+            fixed_right={n - 1: 3},
+        )
+        assert is_proper_coloring(g, coloring)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000), n=st.integers(40, 90), spare=st.integers(1, 3))
+def test_extension_property(seed, n, spare):
+    rng = random.Random(seed)
+    g = long_interval_graph(n, seed=seed)
+    bags = path_bags_of(g)
+    chi = bags.max_bag_size()
+    palette = list(range(1, chi + spare + 1))
+    left = dict(zip(sorted(bags.bags[0]), rng.sample(palette, len(bags.bags[0]))))
+    right = dict(zip(sorted(bags.bags[-1]), rng.sample(palette, len(bags.bags[-1]))))
+    coloring = extend_path_coloring(
+        g, bags, palette, fixed_left=left, fixed_right=right
+    )
+    assert is_proper_coloring(g, coloring)
+    for v, c in {**left, **right}.items():
+        assert coloring[v] == c
+    assert set(coloring.values()) <= set(palette)

@@ -1,0 +1,88 @@
+"""Greedy colorings: PEO optimality and the preference-order guarantee."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coloring import PaletteExhaustedError, PathBags, peo_greedy_coloring, preference_greedy
+from repro.graphs import (
+    clique_number,
+    complete_graph,
+    is_proper_coloring,
+    num_colors,
+    path_graph,
+    random_chordal_graph,
+)
+
+
+class TestPEOGreedy:
+    def test_path(self):
+        g = path_graph(6)
+        coloring = peo_greedy_coloring(g)
+        assert is_proper_coloring(g, coloring)
+        assert num_colors(coloring) == 2
+
+    def test_complete(self):
+        coloring = peo_greedy_coloring(complete_graph(5))
+        assert num_colors(coloring) == 5
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 10_000), n=st.integers(1, 40))
+    def test_always_optimal_on_chordal(self, seed, n):
+        g = random_chordal_graph(n, seed=seed)
+        coloring = peo_greedy_coloring(g)
+        assert is_proper_coloring(g, coloring)
+        assert num_colors(coloring) == clique_number(g)
+
+
+class TestPreferenceGreedy:
+    def path_instance(self, n):
+        g = path_graph(n)
+        bags = PathBags([{i, i + 1} for i in range(n - 1)])
+        return g, bags
+
+    def test_basic(self):
+        g, bags = self.path_instance(6)
+        coloring = preference_greedy(g, bags, palette=[1, 2, 3])
+        assert is_proper_coloring(g, coloring)
+        assert set(coloring.values()) <= {1, 2}
+
+    def test_preferred_colors_used_first(self):
+        g, bags = self.path_instance(6)
+        coloring = preference_greedy(g, bags, palette=[1, 2, 7, 9], preferred=[9, 7])
+        assert is_proper_coloring(g, coloring)
+        # chi = 2, so only the first two preference entries appear
+        assert set(coloring.values()) <= {9, 7}
+
+    def test_fixed_respected(self):
+        g, bags = self.path_instance(5)
+        coloring = preference_greedy(g, bags, [1, 2, 3], fixed={0: 3})
+        assert coloring[0] == 3
+        assert is_proper_coloring(g, coloring)
+
+    def test_fixed_outside_palette_rejected(self):
+        g, bags = self.path_instance(4)
+        with pytest.raises(ValueError):
+            preference_greedy(g, bags, [1, 2], fixed={0: 9})
+
+    def test_palette_exhaustion(self):
+        g = complete_graph(3)
+        bags = PathBags([{0, 1, 2}])
+        with pytest.raises(PaletteExhaustedError):
+            preference_greedy(g, bags, palette=[1, 2])
+
+    def test_uses_at_most_max_bag_colors(self):
+        """The chi-prefix property the relay morph depends on."""
+        import random
+
+        from tests.coloring.test_extension import long_interval_graph, path_bags_of
+
+        for seed in range(6):
+            g = long_interval_graph(50, seed=seed)
+            bags = path_bags_of(g)
+            chi = bags.max_bag_size()
+            palette = list(range(1, chi + 4))
+            preferred = [chi + 3, chi + 2]
+            coloring = preference_greedy(g, bags, palette, preferred=preferred)
+            used = set(coloring.values())
+            prefix = (preferred + [c for c in sorted(palette) if c not in preferred])[:chi]
+            assert used <= set(prefix)

@@ -1,0 +1,93 @@
+"""ColIntGraph: the (1 + 1/k)-approximation interval coloring."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coloring import col_int_graph, color_interval_component
+from repro.coloring.decomposition import PathBags
+from repro.cliquetree import clique_paths_of_interval_graph
+from repro.graphs import (
+    Graph,
+    is_proper_coloring,
+    num_colors,
+    path_graph,
+    random_interval_graph,
+)
+from repro.localmodel import log_star
+from tests.coloring.test_extension import long_interval_graph
+
+
+def chi_of(bags_list):
+    return max(PathBags(p).max_bag_size() for p in bags_list)
+
+
+class TestColorComponent:
+    def test_empty(self):
+        from repro.coloring.interval_coloring import IntervalColoringResult
+
+        res = color_interval_component(Graph(), PathBags([]), k=3)
+        assert res.coloring == {}
+        assert res.rounds == 0
+
+    def test_small_path(self):
+        g = path_graph(8)
+        (path,) = clique_paths_of_interval_graph(g)
+        res = color_interval_component(g, PathBags(path), k=3)
+        assert is_proper_coloring(g, res.coloring)
+        assert res.num_colors() <= 3  # chi=2, (1+1/3)*2+1 floor = 3
+
+    def test_long_path_uses_morph(self):
+        g = path_graph(600)
+        (path,) = clique_paths_of_interval_graph(g)
+        res = color_interval_component(g, PathBags(path), k=2)
+        assert is_proper_coloring(g, res.coloring)
+        assert res.num_colors() <= 2 + 2 // 2 + 1
+        assert res.rounds > 0
+
+    def test_invalid_k(self):
+        g = path_graph(4)
+        (path,) = clique_paths_of_interval_graph(g)
+        with pytest.raises(ValueError):
+            color_interval_component(g, PathBags(path), k=0)
+
+
+class TestColIntGraph:
+    def test_approximation_guarantee(self):
+        for seed in range(8):
+            g = long_interval_graph(150, seed=seed)
+            for k in (1, 2, 4):
+                res = col_int_graph(g, k)
+                assert is_proper_coloring(g, res.coloring)
+                chi = chi_of(clique_paths_of_interval_graph(g))
+                assert res.num_colors() <= chi + chi // k + 1
+
+    def test_disconnected(self):
+        g = random_interval_graph(60, seed=1, max_length=0.05)
+        res = col_int_graph(g, k=3)
+        assert is_proper_coloring(g, res.coloring)
+        assert set(res.coloring) == set(g.vertices())
+
+    def test_round_scaling_in_k(self):
+        """Rounds grow roughly linearly with k at fixed n (O(k log* n))."""
+        g = long_interval_graph(400, seed=3)
+        r2 = col_int_graph(g, 2).rounds
+        r8 = col_int_graph(g, 8).rounds
+        assert r2 <= r8 <= 12 * r2
+
+    def test_round_scaling_in_n(self):
+        """Rounds grow like log* n at fixed k: nearly flat."""
+        small = col_int_graph(long_interval_graph(120, seed=5), 3).rounds
+        large = col_int_graph(long_interval_graph(900, seed=5), 3).rounds
+        assert large <= small * (log_star(900) + 2)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 5_000), n=st.integers(5, 120), k=st.integers(1, 5))
+def test_col_int_graph_property(seed, n, k):
+    g = random_interval_graph(n, seed=seed, max_length=0.15)
+    res = col_int_graph(g, k)
+    assert is_proper_coloring(g, res.coloring)
+    chi = chi_of(clique_paths_of_interval_graph(g))
+    assert res.num_colors() <= chi + chi // k + 1

@@ -1,0 +1,31 @@
+"""Shared fixtures and helpers for the test-suite.
+
+``networkx`` is used throughout the tests as an independent oracle for
+chordality, cliques, and small exact optima; the library itself never
+imports it.
+"""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.graphs import Graph
+
+
+def to_networkx(graph: Graph) -> "nx.Graph":
+    g = nx.Graph()
+    g.add_nodes_from(graph.vertices())
+    g.add_edges_from(graph.edges())
+    return g
+
+
+def from_networkx(g: "nx.Graph") -> Graph:
+    return Graph(vertices=g.nodes(), edges=g.edges())
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xC0FFEE)

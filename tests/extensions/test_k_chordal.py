@@ -1,0 +1,104 @@
+"""The l-chordal exploration (Section 9's open question)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.extensions import (
+    chordal_with_handles,
+    handle_experiment_rows,
+    is_l_chordal,
+    longest_induced_cycle,
+    triangulate_and_color,
+)
+from repro.graphs import (
+    complete_graph,
+    cycle_graph,
+    is_chordal,
+    path_graph,
+    random_chordal_graph,
+)
+
+
+class TestInducedCycleSearch:
+    def test_forests_have_none(self):
+        assert longest_induced_cycle(path_graph(10)) == 0
+
+    def test_cycles_detected_exactly(self):
+        for n in (4, 5, 7, 9):
+            assert longest_induced_cycle(cycle_graph(n)) == n
+
+    def test_triangles_only_in_chordal(self):
+        for seed in range(6):
+            g = random_chordal_graph(16, seed=seed)
+            assert longest_induced_cycle(g) in (0, 3)
+
+    def test_complete_graph(self):
+        assert longest_induced_cycle(complete_graph(5)) == 3
+
+    def test_chords_break_long_cycles(self):
+        g = cycle_graph(6)
+        g.add_edge(0, 3)
+        assert longest_induced_cycle(g) == 4  # two 4-cycles remain
+
+    def test_cap_limits_search(self):
+        g = cycle_graph(15)
+        assert longest_induced_cycle(g, cap=8) == 0  # cycle longer than cap
+
+
+class TestLChordality:
+    def test_chordal_is_3_chordal(self):
+        g = random_chordal_graph(15, seed=1)
+        assert is_l_chordal(g, 3)
+
+    def test_c5_is_5_but_not_4_chordal(self):
+        g = cycle_graph(5)
+        assert is_l_chordal(g, 5)
+        assert not is_l_chordal(g, 4)
+
+    def test_l_validation(self):
+        with pytest.raises(ValueError):
+            is_l_chordal(path_graph(3), 2)
+
+
+class TestHandleGenerator:
+    def test_handles_create_long_induced_cycles(self):
+        g = chordal_with_handles(14, handles=2, handle_length=5, seed=0)
+        assert not is_chordal(g)
+        assert longest_induced_cycle(g, cap=12) >= 6
+
+    def test_zero_handles_stays_chordal(self):
+        g = chordal_with_handles(14, handles=0, handle_length=4, seed=1)
+        assert is_chordal(g)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chordal_with_handles(10, handles=1, handle_length=2)
+
+
+class TestTriangulateAndColor:
+    def test_chordal_instance_has_unit_detour(self):
+        g = random_chordal_graph(18, seed=4)
+        outcome = triangulate_and_color(g)
+        assert outcome.fill_edges == 0
+        assert outcome.detour_ratio is not None
+        assert outcome.detour_ratio <= 1.5 + 1e-9
+
+    def test_handle_instance_detour_bounded(self):
+        g = chordal_with_handles(16, handles=2, handle_length=4, seed=2)
+        outcome = triangulate_and_color(g)
+        assert outcome.colors >= outcome.chi_true
+        # fill is nonzero because the handles are not chordal
+        assert outcome.fill_edges >= 1
+
+    def test_large_instance_skips_exact_chi(self):
+        g = chordal_with_handles(40, handles=2, handle_length=4, seed=3)
+        outcome = triangulate_and_color(g, exact_chi_guard=10)
+        assert outcome.chi_true is None
+        assert outcome.detour_ratio is None
+
+
+def test_experiment_rows_shape():
+    rows = handle_experiment_rows(handle_lengths=(3, 5), n=14, handles=2, seeds=(0,))
+    assert len(rows) == 2
+    for length, cycle, fill, worst in rows:
+        assert worst is None or worst >= 1.0

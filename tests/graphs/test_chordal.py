@@ -1,0 +1,157 @@
+"""Tests for chordality machinery, cross-checked against networkx."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import (
+    NotChordalError,
+    Graph,
+    check_peo,
+    clique_number,
+    complete_graph,
+    cycle_graph,
+    is_chordal,
+    is_simplicial,
+    lex_bfs,
+    maximal_cliques,
+    maximum_cardinality_search,
+    paper_example_graph,
+    paper_example_cliques,
+    path_graph,
+    perfect_elimination_ordering,
+    random_chordal_graph,
+    random_interval_graph,
+    random_k_tree,
+    random_tree,
+    simplicial_vertices,
+)
+from tests.conftest import to_networkx
+
+
+class TestLexBFS:
+    def test_empty(self):
+        assert lex_bfs(Graph()) == []
+
+    def test_visits_all(self):
+        g = random_chordal_graph(30, seed=1)
+        order = lex_bfs(g)
+        assert sorted(order) == g.vertices()
+
+    def test_start_vertex(self):
+        g = path_graph(5)
+        assert lex_bfs(g, start=3)[0] == 3
+
+    def test_unknown_start(self):
+        with pytest.raises(KeyError):
+            lex_bfs(path_graph(3), start=42)
+
+    def test_deterministic(self):
+        g = random_chordal_graph(40, seed=7)
+        assert lex_bfs(g) == lex_bfs(g)
+
+
+class TestPEO:
+    def test_path_is_chordal(self):
+        order = perfect_elimination_ordering(path_graph(8))
+        assert check_peo(path_graph(8), order) is None
+
+    def test_cycle_not_chordal(self):
+        with pytest.raises(NotChordalError):
+            perfect_elimination_ordering(cycle_graph(5))
+
+    def test_check_peo_bad_order(self):
+        # On C4, no ordering is a PEO.
+        g = cycle_graph(4)
+        assert check_peo(g, [0, 1, 2, 3]) is not None
+
+    def test_check_peo_wrong_length(self):
+        with pytest.raises(ValueError):
+            check_peo(path_graph(3), [0, 1])
+
+    def test_mcs_reverse_is_peo_on_chordal(self):
+        g = random_k_tree(25, 3, seed=5)
+        order = list(reversed(maximum_cardinality_search(g)))
+        assert check_peo(g, order) is None
+
+    def test_is_chordal_matches_networkx(self):
+        for seed in range(10):
+            g = random_chordal_graph(25, seed=seed)
+            nxg = to_networkx(g)
+            # networkx requires no self loops and works on any graph
+            assert is_chordal(g) == nx.is_chordal(nxg)
+
+    def test_non_chordal_detected(self):
+        assert not is_chordal(cycle_graph(4))
+        assert not is_chordal(cycle_graph(6))
+        assert is_chordal(cycle_graph(3))
+
+
+class TestSimplicial:
+    def test_path_ends_simplicial(self):
+        g = path_graph(5)
+        assert is_simplicial(g, 0)
+        assert not is_simplicial(g, 2)
+        assert simplicial_vertices(g) == [0, 4]
+
+    def test_complete_graph_all_simplicial(self):
+        g = complete_graph(4)
+        assert simplicial_vertices(g) == [0, 1, 2, 3]
+
+
+class TestMaximalCliques:
+    def test_paper_example(self):
+        g = paper_example_graph()
+        ours = set(maximal_cliques(g))
+        assert ours == set(paper_example_cliques())
+
+    def test_matches_networkx_on_random(self):
+        for seed in range(8):
+            g = random_chordal_graph(30, seed=seed)
+            ours = set(maximal_cliques(g))
+            theirs = {frozenset(c) for c in nx.chordal_graph_cliques(to_networkx(g))}
+            assert ours == theirs
+
+    def test_at_most_n_cliques(self):
+        for seed in range(5):
+            g = random_k_tree(40, 4, seed=seed)
+            assert len(maximal_cliques(g)) <= len(g)
+
+    def test_raises_on_non_chordal(self):
+        with pytest.raises(NotChordalError):
+            maximal_cliques(cycle_graph(4))
+
+    def test_clique_number(self):
+        assert clique_number(complete_graph(6)) == 6
+        assert clique_number(path_graph(4)) == 2
+        assert clique_number(Graph()) == 0
+        assert clique_number(paper_example_graph()) == 3
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 10_000), n=st.integers(1, 40))
+def test_generators_produce_chordal_graphs(seed, n):
+    g = random_chordal_graph(n, seed=seed)
+    assert is_chordal(g)
+    assert nx.is_chordal(to_networkx(g)) or len(g) <= 1
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000), n=st.integers(5, 40), k=st.integers(1, 4))
+def test_k_tree_is_chordal_with_right_clique_number(seed, n, k):
+    g = random_k_tree(n, k, seed=seed)
+    assert is_chordal(g)
+    assert clique_number(g) == k + 1
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000), n=st.integers(1, 40))
+def test_interval_graphs_are_chordal(seed, n):
+    g = random_interval_graph(n, seed=seed, max_length=0.3)
+    assert is_chordal(g)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000), n=st.integers(1, 40))
+def test_trees_are_chordal(seed, n):
+    assert is_chordal(random_tree(n, seed=seed))

@@ -1,0 +1,84 @@
+"""Brute-force oracles cross-checked against networkx on small graphs."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import (
+    Graph,
+    brute_force_chromatic_number,
+    brute_force_independence_number,
+    brute_force_maximum_independent_set,
+    brute_force_optimal_coloring,
+    complete_graph,
+    cycle_graph,
+    is_proper_coloring,
+    path_graph,
+    random_chordal_graph,
+)
+from tests.conftest import to_networkx
+
+
+def small_random_graph(n, p, seed):
+    import random
+
+    rng = random.Random(seed)
+    g = Graph(vertices=range(n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < p:
+                g.add_edge(i, j)
+    return g
+
+
+class TestBruteForceMIS:
+    def test_known_values(self):
+        assert brute_force_independence_number(path_graph(7)) == 4
+        assert brute_force_independence_number(cycle_graph(7)) == 3
+        assert brute_force_independence_number(complete_graph(5)) == 1
+        assert brute_force_independence_number(Graph()) == 0
+
+    def test_output_is_independent(self):
+        g = small_random_graph(15, 0.4, seed=1)
+        mis = brute_force_maximum_independent_set(g)
+        assert g.is_independent_set(mis)
+
+    def test_size_guard(self):
+        with pytest.raises(ValueError):
+            brute_force_maximum_independent_set(path_graph(60))
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 5_000), n=st.integers(1, 14))
+    def test_matches_networkx_complement_clique(self, seed, n):
+        g = small_random_graph(n, 0.4, seed=seed)
+        ours = brute_force_independence_number(g)
+        comp = nx.complement(to_networkx(g))
+        theirs = max((len(c) for c in nx.find_cliques(comp)), default=0)
+        if n == 0:
+            theirs = 0
+        assert ours == theirs
+
+
+class TestBruteForceColoring:
+    def test_known_values(self):
+        assert brute_force_chromatic_number(path_graph(5)) == 2
+        assert brute_force_chromatic_number(cycle_graph(5)) == 3
+        assert brute_force_chromatic_number(complete_graph(4)) == 4
+        assert brute_force_chromatic_number(Graph()) == 0
+
+    def test_coloring_is_proper_and_optimal(self):
+        g = small_random_graph(12, 0.45, seed=2)
+        coloring = brute_force_optimal_coloring(g)
+        assert is_proper_coloring(g, coloring)
+
+    def test_size_guard(self):
+        with pytest.raises(ValueError):
+            brute_force_optimal_coloring(path_graph(60))
+
+    @settings(max_examples=12, deadline=None)
+    @given(seed=st.integers(0, 5_000), n=st.integers(1, 11))
+    def test_chordal_chromatic_equals_clique_number(self, seed, n):
+        from repro.graphs import clique_number
+
+        g = random_chordal_graph(n, seed=seed)
+        assert brute_force_chromatic_number(g) == clique_number(g)

@@ -1,0 +1,167 @@
+"""Generator invariants: sizes, structure, determinism, validation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import (
+    binary_tree,
+    caterpillar,
+    complete_graph,
+    cycle_graph,
+    is_chordal,
+    path_graph,
+    random_chordal_graph,
+    random_connected_interval_graph,
+    random_interval_graph,
+    random_k_tree,
+    random_proper_interval_graph,
+    random_tree,
+    star_graph,
+    unit_interval_chain,
+)
+
+
+class TestDeterministicFamilies:
+    def test_path(self):
+        g = path_graph(6)
+        assert len(g) == 6 and g.num_edges() == 5
+
+    def test_path_zero_and_one(self):
+        assert len(path_graph(0)) == 0
+        assert len(path_graph(1)) == 1
+
+    def test_cycle(self):
+        g = cycle_graph(5)
+        assert g.num_edges() == 5
+        assert all(g.degree(v) == 2 for v in g.vertices())
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_complete(self):
+        g = complete_graph(6)
+        assert g.num_edges() == 15
+
+    def test_star(self):
+        g = star_graph(7)
+        assert g.degree(0) == 7
+        assert g.num_edges() == 7
+
+    def test_caterpillar_is_tree(self):
+        g = caterpillar(spine=5, legs_per_vertex=2)
+        assert len(g) == 15
+        assert g.num_edges() == 14
+        assert g.is_connected()
+
+    def test_binary_tree(self):
+        g = binary_tree(3)
+        assert len(g) == 15
+        assert g.num_edges() == 14
+
+
+class TestRandomFamilies:
+    def test_tree_is_tree(self):
+        for seed in range(5):
+            g = random_tree(50, seed=seed)
+            assert g.num_edges() == 49
+            assert g.is_connected()
+
+    def test_determinism(self):
+        assert random_tree(30, seed=4) == random_tree(30, seed=4)
+        assert random_chordal_graph(30, seed=4) == random_chordal_graph(30, seed=4)
+        assert random_k_tree(30, 2, seed=4) == random_k_tree(30, 2, seed=4)
+
+    def test_k_tree_too_small(self):
+        with pytest.raises(ValueError):
+            random_k_tree(3, 3, seed=0)
+
+    def test_k_tree_edge_count(self):
+        n, k = 40, 3
+        g = random_k_tree(n, k, seed=1)
+        # k-trees have exactly k(k+1)/2 + (n - k - 1) k edges
+        assert g.num_edges() == k * (k + 1) // 2 + (n - k - 1) * k
+
+    def test_connected_interval_graph_connected(self):
+        for seed in range(5):
+            g = random_connected_interval_graph(80, seed=seed)
+            assert g.is_connected()
+            assert g.diameter() >= 10
+
+    def test_connected_interval_parameter_validation(self):
+        with pytest.raises(ValueError):
+            random_connected_interval_graph(10, seed=0, min_length=0.5, max_step=0.9)
+
+    def test_unit_chain_connected_and_long(self):
+        g = unit_interval_chain(100, seed=0)
+        assert g.is_connected()
+        assert g.diameter() >= 10
+
+    def test_unit_chain_parameter_validation(self):
+        with pytest.raises(ValueError):
+            unit_interval_chain(10, seed=0, max_step=1.5)
+
+    def test_proper_interval_graph_seeded(self):
+        a = random_proper_interval_graph(25, seed=3)
+        b = random_proper_interval_graph(25, seed=3)
+        assert a == b
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000), n=st.integers(1, 50))
+def test_all_chordal_families_are_chordal(seed, n):
+    assert is_chordal(random_tree(n, seed=seed))
+    assert is_chordal(random_chordal_graph(n, seed=seed))
+    assert is_chordal(random_interval_graph(n, seed=seed))
+    assert is_chordal(unit_interval_chain(n, seed=seed))
+    if n >= 3:
+        assert is_chordal(random_k_tree(n, 2, seed=seed))
+
+
+class TestNewFamilies:
+    def test_split_graph_is_chordal_and_split(self):
+        from repro.graphs import is_chordal, random_split_graph
+
+        for seed in range(5):
+            g = random_split_graph(50, seed=seed)
+            assert is_chordal(g)
+            # clique part is a clique; the rest is independent
+            clique = list(range(20))
+            assert g.is_clique(clique)
+            assert g.is_independent_set(range(20, 50))
+
+    def test_split_graph_validation(self):
+        from repro.graphs import random_split_graph
+
+        with pytest.raises(ValueError):
+            random_split_graph(10, clique_fraction=1.5)
+
+    def test_power_law_tree_is_tree(self):
+        from repro.graphs import power_law_tree
+
+        g = power_law_tree(60, seed=1)
+        assert g.num_edges() == 59
+        assert g.is_connected()
+
+    def test_power_law_tree_has_hubs(self):
+        from repro.graphs import power_law_tree, random_tree
+
+        hubby = max(power_law_tree(300, seed=2, bias=0.2).degree(v) for v in range(300))
+        uniform = max(random_tree(300, seed=2).degree(v) for v in range(300))
+        assert hubby >= uniform  # preferential attachment concentrates degree
+
+    def test_power_law_tree_validation(self):
+        from repro.graphs import power_law_tree
+
+        with pytest.raises(ValueError):
+            power_law_tree(10, bias=0)
+
+    def test_pipeline_on_new_families(self):
+        from repro.coloring import color_chordal_graph
+        from repro.graphs import power_law_tree, random_split_graph
+        from repro.mis import chordal_mis
+        from repro.verify import verify_coloring_run, verify_mis_run
+
+        for g in (random_split_graph(60, seed=3), power_law_tree(80, seed=3)):
+            verify_coloring_run(g, color_chordal_graph(g, k=2)).raise_if_failed()
+            verify_mis_run(g, chordal_mis(g, 0.4)).raise_if_failed()

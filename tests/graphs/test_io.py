@@ -1,0 +1,82 @@
+"""Serialization round-trips and malformed-input handling."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import (
+    Graph,
+    dump_json,
+    from_dict,
+    from_edge_list,
+    intervals_from_text,
+    intervals_to_text,
+    load_json,
+    paper_example_graph,
+    random_chordal_graph,
+    to_dict,
+    to_edge_list,
+)
+
+
+class TestEdgeList:
+    def test_round_trip_with_isolated_vertices(self):
+        g = Graph(edges=[(1, 2), (2, 3)])
+        g.add_vertex(99)
+        assert from_edge_list(to_edge_list(g)) == g
+
+    def test_comments_and_blanks_ignored(self):
+        text = """
+        # a comment
+        vertices: 1 2 3
+
+        1 2  # trailing comment
+        """
+        g = from_edge_list(text)
+        assert g.vertices() == [1, 2, 3]
+        assert g.has_edge(1, 2)
+
+    def test_string_vertices(self):
+        g = Graph(edges=[("a", "b")])
+        assert from_edge_list(to_edge_list(g)) == g
+
+    def test_malformed_line(self):
+        with pytest.raises(ValueError):
+            from_edge_list("1 2 3")
+
+    def test_paper_graph_round_trip(self):
+        g = paper_example_graph()
+        assert from_edge_list(to_edge_list(g)) == g
+
+
+class TestJson:
+    def test_round_trip(self):
+        g = random_chordal_graph(25, seed=9)
+        assert load_json(dump_json(g)) == g
+
+    def test_dict_round_trip(self):
+        g = Graph(edges=[(0, 1)])
+        g.add_vertex(5)
+        assert from_dict(to_dict(g)) == g
+
+    def test_bad_dict(self):
+        with pytest.raises(ValueError):
+            from_dict({"nodes": []})
+
+
+class TestIntervals:
+    def test_round_trip(self):
+        intervals = {1: (0.0, 1.5), 2: (0.25, 3.0), "x": (-1.0, 0.0)}
+        text = intervals_to_text(intervals)
+        assert intervals_from_text(text) == intervals
+
+    def test_malformed(self):
+        with pytest.raises(ValueError):
+            intervals_from_text("1 0.0")
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000), n=st.integers(0, 30))
+def test_random_graph_round_trips(seed, n):
+    g = random_chordal_graph(n, seed=seed)
+    assert from_edge_list(to_edge_list(g)) == g
+    assert load_json(dump_json(g)) == g

@@ -1,0 +1,78 @@
+"""Degeneracy and the perfect-graph dual certificates."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import (
+    Graph,
+    clique_number,
+    complete_graph,
+    cycle_graph,
+    degeneracy,
+    degeneracy_ordering,
+    density,
+    is_clique_cover,
+    minimum_clique_cover_chordal,
+    path_graph,
+    random_chordal_graph,
+    random_k_tree,
+    star_graph,
+)
+from repro.mis import independence_number_chordal
+
+
+class TestDegeneracy:
+    def test_known_values(self):
+        assert degeneracy(path_graph(10)) == 1
+        assert degeneracy(cycle_graph(10)) == 2
+        assert degeneracy(complete_graph(5)) == 4
+        assert degeneracy(star_graph(9)) == 1
+        assert degeneracy(Graph()) == 0
+
+    def test_ordering_covers_vertices(self):
+        g = random_chordal_graph(30, seed=2)
+        order, d = degeneracy_ordering(g)
+        assert sorted(order) == g.vertices()
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 5_000), n=st.integers(1, 35))
+    def test_chordal_degeneracy_is_omega_minus_one(self, seed, n):
+        g = random_chordal_graph(n, seed=seed)
+        expected = max(0, clique_number(g) - 1)
+        assert degeneracy(g) == expected
+
+
+class TestCliqueCover:
+    def test_path(self):
+        g = path_graph(6)
+        cover = minimum_clique_cover_chordal(g)
+        assert is_clique_cover(g, cover)
+        assert len(cover) == 3  # alpha(P6) = 3
+
+    def test_complete(self):
+        cover = minimum_clique_cover_chordal(complete_graph(5))
+        assert len(cover) == 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000), n=st.integers(1, 35))
+    def test_cover_size_equals_alpha(self, seed, n):
+        """Perfection: minimum clique cover = alpha on chordal graphs."""
+        g = random_chordal_graph(n, seed=seed)
+        cover = minimum_clique_cover_chordal(g)
+        assert is_clique_cover(g, cover)
+        assert len(cover) == independence_number_chordal(g)
+
+    def test_is_clique_cover_rejects_bad_inputs(self):
+        g = path_graph(4)
+        assert not is_clique_cover(g, [{0, 1}, {1, 2}, {3}])  # overlap
+        assert not is_clique_cover(g, [{0, 1}])  # incomplete
+        assert not is_clique_cover(g, [{0, 2}, {1, 3}])  # not cliques
+        assert not is_clique_cover(g, [set(), {0, 1}, {2, 3}])  # empty part
+
+
+class TestDensity:
+    def test_values(self):
+        assert density(complete_graph(5)) == 1.0
+        assert density(path_graph(2)) == 1.0
+        assert density(Graph(vertices=[1])) == 0.0
+        assert 0 < density(path_graph(10)) < 0.5

@@ -1,0 +1,101 @@
+"""Stateful property test: the Graph data structure under random mutation.
+
+A hypothesis rule-based state machine mutates a Graph through its public
+API while maintaining a reference model (a set of vertices and a set of
+frozenset edges).  Invariants checked after every step: vertex/edge sets
+match the model, adjacency is symmetric, degrees are consistent, and
+derived views (copy, induced subgraph) don't alias the original.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.graphs import Graph
+
+VERTICES = st.integers(0, 14)
+
+
+class GraphMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.graph = Graph()
+        self.model_vertices = set()
+        self.model_edges = set()
+
+    @rule(v=VERTICES)
+    def add_vertex(self, v):
+        self.graph.add_vertex(v)
+        self.model_vertices.add(v)
+
+    @rule(u=VERTICES, v=VERTICES)
+    def add_edge(self, u, v):
+        if u == v:
+            return
+        self.graph.add_edge(u, v)
+        self.model_vertices.update((u, v))
+        self.model_edges.add(frozenset((u, v)))
+
+    @rule(vs=st.lists(VERTICES, min_size=1, max_size=5, unique=True))
+    def add_clique(self, vs):
+        self.graph.add_clique(vs)
+        self.model_vertices.update(vs)
+        for i, a in enumerate(vs):
+            for b in vs[i + 1:]:
+                self.model_edges.add(frozenset((a, b)))
+
+    @precondition(lambda self: self.model_vertices)
+    @rule(data=st.data())
+    def remove_vertex(self, data):
+        v = data.draw(st.sampled_from(sorted(self.model_vertices)))
+        self.graph.remove_vertex(v)
+        self.model_vertices.discard(v)
+        self.model_edges = {e for e in self.model_edges if v not in e}
+
+    @precondition(lambda self: self.model_edges)
+    @rule(data=st.data())
+    def remove_edge(self, data):
+        e = data.draw(st.sampled_from(sorted(self.model_edges, key=sorted)))
+        u, v = sorted(e)
+        self.graph.remove_edge(u, v)
+        self.model_edges.discard(e)
+
+    @rule()
+    def copy_is_detached(self):
+        clone = self.graph.copy()
+        clone.add_vertex(999)
+        assert 999 not in self.graph
+
+    @precondition(lambda self: self.model_vertices)
+    @rule(data=st.data())
+    def induced_subgraph_is_consistent(self, data):
+        keep = data.draw(
+            st.sets(st.sampled_from(sorted(self.model_vertices)), max_size=6)
+        )
+        sub = self.graph.induced_subgraph(keep)
+        assert set(sub.vertices()) == set(keep)
+        for u, v in sub.edges():
+            assert frozenset((u, v)) in self.model_edges
+
+    @invariant()
+    def matches_model(self):
+        assert set(self.graph.vertices()) == self.model_vertices
+        assert {frozenset(e) for e in self.graph.edges()} == self.model_edges
+        assert self.graph.num_edges() == len(self.model_edges)
+
+    @invariant()
+    def adjacency_symmetric(self):
+        for v in self.graph.vertices():
+            for u in self.graph.neighbors(v):
+                assert v in self.graph.neighbors(u)
+
+    @invariant()
+    def degrees_sum_to_twice_edges(self):
+        total = sum(self.graph.degree(v) for v in self.graph.vertices())
+        assert total == 2 * self.graph.num_edges()
+
+
+TestGraphStateMachine = GraphMachine.TestCase
+TestGraphStateMachine.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,114 @@
+"""Chordal completions and treewidth helpers."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import networkx as nx
+
+from repro.graphs import (
+    Graph,
+    clique_number,
+    complete_graph,
+    cycle_graph,
+    elimination_ordering,
+    fill_in_count,
+    is_chordal,
+    path_graph,
+    random_chordal_graph,
+    random_k_tree,
+    treewidth_chordal,
+    triangulate,
+)
+from tests.conftest import to_networkx
+
+
+def random_graph(n, p, seed):
+    import random
+
+    rng = random.Random(seed)
+    g = Graph(vertices=range(n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < p:
+                g.add_edge(i, j)
+    return g
+
+
+class TestFillIn:
+    def test_fill_in_count(self):
+        g = cycle_graph(4)
+        assert fill_in_count(g, 0) == 1  # neighbors 1, 3 non-adjacent
+        g.add_edge(1, 3)
+        assert fill_in_count(g, 0) == 0
+
+    def test_elimination_ordering_covers_all(self):
+        g = random_graph(20, 0.3, seed=1)
+        for heuristic in ("min_fill", "min_degree"):
+            order = elimination_ordering(g, heuristic)
+            assert sorted(order) == g.vertices()
+
+    def test_unknown_heuristic(self):
+        with pytest.raises(ValueError):
+            elimination_ordering(path_graph(3), "magic")
+
+
+class TestTriangulate:
+    def test_cycle_gets_chords(self):
+        g = cycle_graph(8)
+        tri = triangulate(g)
+        assert is_chordal(tri.chordal_graph)
+        assert len(tri.fill_edges) >= 1
+        # the input is a subgraph of the completion
+        for e in g.edges():
+            assert tri.chordal_graph.has_edge(*e)
+
+    def test_chordal_input_adds_nothing_with_min_fill(self):
+        for seed in range(6):
+            g = random_chordal_graph(25, seed=seed)
+            tri = triangulate(g, "min_fill")
+            assert tri.fill_edges == []
+            assert tri.chordal_graph == g
+
+    def test_width_matches_clique_number(self):
+        g = cycle_graph(10)
+        tri = triangulate(g)
+        assert clique_number(tri.chordal_graph) <= tri.width + 1
+
+    def test_cycle_treewidth_two(self):
+        tri = triangulate(cycle_graph(30), "min_fill")
+        assert tri.width == 2  # cycles have treewidth 2
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 5_000), n=st.integers(2, 18))
+    def test_random_graphs_complete_to_chordal(self, seed, n):
+        g = random_graph(n, 0.35, seed=seed)
+        for heuristic in ("min_fill", "min_degree"):
+            tri = triangulate(g, heuristic)
+            assert is_chordal(tri.chordal_graph)
+            assert nx.is_chordal(to_networkx(tri.chordal_graph)) or n <= 2
+            assert tri.chordal_graph.num_edges() == (
+                g.num_edges() + len(tri.fill_edges)
+            )
+
+    def test_pipeline_on_triangulated_graph(self):
+        """Triangulation makes arbitrary inputs usable by the algorithms."""
+        from repro.coloring import color_chordal_graph
+        from repro.graphs import is_proper_coloring
+
+        g = random_graph(40, 0.08, seed=3)
+        tri = triangulate(g)
+        result = color_chordal_graph(tri.chordal_graph, k=2)
+        # a proper coloring of the completion is proper for the original
+        assert is_proper_coloring(g, result.coloring)
+
+
+class TestTreewidth:
+    def test_chordal_values(self):
+        assert treewidth_chordal(path_graph(5)) == 1
+        assert treewidth_chordal(complete_graph(6)) == 5
+        assert treewidth_chordal(Graph()) == -1
+        assert treewidth_chordal(random_k_tree(30, 3, seed=1)) == 3
+
+    def test_rejects_non_chordal(self):
+        with pytest.raises(ValueError):
+            treewidth_chordal(cycle_graph(5))

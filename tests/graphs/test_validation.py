@@ -1,0 +1,97 @@
+"""Output validators: colorings and independent sets."""
+
+import pytest
+
+from repro.graphs import (
+    Graph,
+    assert_independent_set,
+    assert_proper_coloring,
+    coloring_violation,
+    complete_graph,
+    independent_set_violation,
+    is_distance_k_independent_set,
+    is_independent_set,
+    is_maximal_distance_k_independent_set,
+    is_maximal_independent_set,
+    is_proper_coloring,
+    num_colors,
+    path_graph,
+)
+
+
+class TestColoringValidation:
+    def test_proper(self):
+        g = path_graph(4)
+        assert is_proper_coloring(g, {0: 1, 1: 2, 2: 1, 3: 2})
+
+    def test_uncolored_vertex_reported(self):
+        g = path_graph(3)
+        assert coloring_violation(g, {0: 1, 1: 2}) == (2, 2)
+
+    def test_monochromatic_edge_reported(self):
+        g = path_graph(3)
+        violation = coloring_violation(g, {0: 1, 1: 1, 2: 2})
+        assert violation == (0, 1)
+
+    def test_assert_helpers(self):
+        g = path_graph(3)
+        assert_proper_coloring(g, {0: 1, 1: 2, 2: 1})
+        with pytest.raises(AssertionError, match="uncolored"):
+            assert_proper_coloring(g, {0: 1})
+        with pytest.raises(AssertionError, match="monochromatic"):
+            assert_proper_coloring(g, {0: 1, 1: 1, 2: 2})
+
+    def test_num_colors(self):
+        assert num_colors({1: 5, 2: 5, 3: 7}) == 2
+        assert num_colors({}) == 0
+
+
+class TestIndependentSetValidation:
+    def test_basic(self):
+        g = path_graph(5)
+        assert is_independent_set(g, [0, 2, 4])
+        assert not is_independent_set(g, [0, 1])
+
+    def test_duplicates_reported(self):
+        g = path_graph(3)
+        assert independent_set_violation(g, [0, 0]) == (0, 0)
+
+    def test_foreign_vertex_reported(self):
+        g = path_graph(3)
+        assert independent_set_violation(g, [0, 42]) == (42, 42)
+
+    def test_assert_helper(self):
+        g = path_graph(4)
+        assert_independent_set(g, [0, 2])
+        with pytest.raises(AssertionError, match="adjacent"):
+            assert_independent_set(g, [0, 1])
+
+    def test_maximality(self):
+        g = path_graph(5)
+        assert is_maximal_independent_set(g, [0, 2, 4])
+        assert is_maximal_independent_set(g, [0, 3])  # smaller but maximal
+        assert not is_maximal_independent_set(g, [0])  # 3 could join
+        assert not is_maximal_independent_set(g, [0, 1, 3])  # not independent
+
+
+class TestDistanceK:
+    def test_distance_two_is_plain_independence(self):
+        g = path_graph(6)
+        assert is_distance_k_independent_set(g, [0, 2, 4], 2)
+        assert not is_distance_k_independent_set(g, [0, 1], 2)
+
+    def test_distance_three_spacing(self):
+        g = path_graph(10)
+        assert is_distance_k_independent_set(g, [0, 3, 6, 9], 3)
+        assert not is_distance_k_independent_set(g, [0, 2], 3)
+
+    def test_maximality_with_spacing(self):
+        g = path_graph(10)
+        # members every 3: consecutive at distance 3, nothing can join
+        assert is_maximal_distance_k_independent_set(g, [0, 3, 6, 9], 3)
+        # gap of 6 leaves room at distance >= 3 from both
+        assert not is_maximal_distance_k_independent_set(g, [0, 6], 3)
+
+    def test_disconnected_members_are_far(self):
+        g = Graph(vertices=[1, 2])
+        assert is_distance_k_independent_set(g, [1, 2], 99)

@@ -1,0 +1,124 @@
+"""Linial color reduction on paths: correctness, round counts, equivalence."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import Graph, path_graph
+from repro.localmodel import (
+    LINIAL_FIXPOINT,
+    LinialPathProgram,
+    SyncNetwork,
+    linial_new_color,
+    linial_parameters,
+    log_star,
+    three_color_path,
+)
+
+
+def proper_on_path(ids, colors):
+    return all(
+        colors[ids[i]] != colors[ids[i + 1]] for i in range(len(ids) - 1)
+    )
+
+
+class TestParameters:
+    def test_fixpoint(self):
+        for c in range(1, LINIAL_FIXPOINT + 1):
+            assert linial_parameters(c) is None
+
+    def test_progress_above_fixpoint(self):
+        for c in (26, 100, 1000, 10**6, 2**64):
+            params = linial_parameters(c)
+            assert params is not None
+            q, d = params
+            assert q ** (d + 1) >= c
+            assert q >= 2 * d + 1
+            assert q * q < c
+
+    def test_schedule_is_log_star_short(self):
+        # From 2^64 IDs the palette reaches 25 within a handful of steps.
+        from repro.localmodel.colorreduction import _reduction_schedule
+
+        schedule = _reduction_schedule(2**64)
+        assert 1 <= len(schedule) <= log_star(2**64) + 3
+
+
+class TestNewColor:
+    def test_properness_guarantee(self):
+        q, d = 5, 2
+        # Any triple of distinct colors (= polynomials) yields distinct pairs.
+        rng = random.Random(7)
+        for _ in range(200):
+            a, b, c = rng.sample(range(q ** (d + 1)), 3)
+            ca = linial_new_color(a, [b, c], q, d)
+            cb = linial_new_color(b, [a, c], q, d)
+            assert ca != cb
+            assert 0 <= ca < q * q
+
+
+class TestThreeColorPath:
+    def test_empty_and_single(self):
+        assert three_color_path([]) == ({}, 0)
+        colors, _ = three_color_path([42])
+        assert colors[42] in (1, 2, 3)
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            three_color_path([1, 1, 2])
+
+    def test_negative_ids_rejected(self):
+        with pytest.raises(ValueError):
+            three_color_path([-1, 0])
+
+    def test_proper_three_coloring(self):
+        rng = random.Random(3)
+        for n in (2, 3, 10, 57, 200):
+            ids = rng.sample(range(10**6), n)
+            colors, rounds = three_color_path(ids)
+            assert proper_on_path(ids, colors)
+            assert set(colors.values()) <= {1, 2, 3}
+
+    def test_round_count_is_log_star_like(self):
+        ids = list(range(1000))
+        _, rounds = three_color_path(ids)
+        # schedule length + 22 retirement rounds; far below any poly(n).
+        assert rounds <= log_star(1000) + 3 + 22
+
+    def test_rounds_grow_slowly_with_id_range(self):
+        small = three_color_path(list(range(30)))[1]
+        huge = three_color_path([i * 10**12 for i in range(1, 31)])[1]
+        assert huge <= small + 4
+
+
+class TestMessagePassingEquivalence:
+    def test_program_matches_lockstep(self):
+        rng = random.Random(11)
+        raw_ids = rng.sample(range(10_000), 40)
+        id_bound = max(raw_ids) + 1
+        # Build a path graph whose vertex names are the IDs.
+        g = Graph(vertices=raw_ids)
+        for a, b in zip(raw_ids, raw_ids[1:]):
+            g.add_edge(a, b)
+        net = SyncNetwork(g, lambda v, nbrs: LinialPathProgram(v, nbrs, id_bound))
+        out = net.run()
+        assert proper_on_path(raw_ids, out)
+        assert set(out.values()) <= {1, 2, 3}
+        # Lock-step simulation agrees on the final coloring.
+        lockstep, lockstep_rounds = three_color_path(raw_ids)
+        assert out == lockstep
+        # Message rounds = lockstep rounds + initial announcement + stop.
+        assert net.stats.rounds <= lockstep_rounds + 2
+
+    def test_program_rejects_high_degree(self):
+        with pytest.raises(ValueError):
+            LinialPathProgram(0, [1, 2, 3], id_bound=10)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(0, 2**40), min_size=2, max_size=120, unique=True))
+def test_three_coloring_always_proper(ids):
+    colors, _ = three_color_path(ids)
+    assert proper_on_path(ids, colors)
+    assert set(colors.values()) <= {1, 2, 3}

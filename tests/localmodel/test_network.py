@@ -1,0 +1,101 @@
+"""SyncNetwork engine and ball gathering."""
+
+import pytest
+
+from repro.graphs import Graph, cycle_graph, path_graph, random_chordal_graph
+from repro.localmodel import (
+    BallGatherProgram,
+    NodeProgram,
+    SyncNetwork,
+    gather_balls,
+)
+
+
+class EchoDegree(NodeProgram):
+    """One-round program: learn neighbor count via messages."""
+
+    def step(self, ctx):
+        if ctx.round_number == 0:
+            return self.broadcast("ping")
+        self.output = len(ctx.inbox)
+        self.done = True
+        return {}
+
+
+class Misbehaving(NodeProgram):
+    def step(self, ctx):
+        return {"not-a-neighbor": "boom"}
+
+
+class NeverDone(NodeProgram):
+    def step(self, ctx):
+        return {}
+
+
+class TestSyncNetwork:
+    def test_degree_counting(self):
+        g = path_graph(5)
+        net = SyncNetwork(g, EchoDegree)
+        out = net.run()
+        assert out == {0: 1, 1: 2, 2: 2, 3: 2, 4: 1}
+        assert net.stats.rounds == 2
+
+    def test_message_stats(self):
+        g = cycle_graph(4)
+        net = SyncNetwork(g, EchoDegree)
+        net.run()
+        assert net.stats.messages_sent == 8
+        assert net.stats.max_messages_per_round == 8
+
+    def test_rejects_messages_to_non_neighbors(self):
+        net = SyncNetwork(path_graph(3), Misbehaving)
+        with pytest.raises(ValueError):
+            net.run()
+
+    def test_round_budget_enforced(self):
+        net = SyncNetwork(path_graph(3), NeverDone)
+        with pytest.raises(RuntimeError):
+            net.run(max_rounds=5)
+
+
+class TestBallGathering:
+    def test_radius_zero(self):
+        g = path_graph(4)
+        balls, rounds = gather_balls(g, 0)
+        assert rounds <= 1
+        for v, ball in balls.items():
+            assert set(ball.states) == {v}
+
+    def test_matches_bfs_balls(self):
+        g = random_chordal_graph(25, seed=4)
+        for radius in (1, 2, 3):
+            balls, rounds = gather_balls(g, radius)
+            assert rounds == radius + 1  # radius exchanges + stop round
+            for v, ball in balls.items():
+                assert set(ball.states) == g.ball(v, radius)
+
+    def test_edges_cover_interior(self):
+        """All edges of the induced subgraph on the (radius-1)-ball are known."""
+        g = random_chordal_graph(20, seed=9)
+        radius = 3
+        balls, _ = gather_balls(g, radius)
+        for v, ball in balls.items():
+            interior = g.ball(v, radius - 1)
+            expected = set(g.induced_subgraph(interior).edges())
+            assert expected <= ball.edges
+
+    def test_states_delivered(self):
+        g = path_graph(6)
+        states = {v: f"s{v}" for v in g.vertices()}
+        balls, _ = gather_balls(g, 2, states)
+        assert balls[3].states == {1: "s1", 2: "s2", 3: "s3", 4: "s4", 5: "s5"}
+
+    def test_negative_radius(self):
+        with pytest.raises(ValueError):
+            gather_balls(path_graph(3), -1)
+
+    def test_ball_as_graph(self):
+        g = cycle_graph(8)
+        balls, _ = gather_balls(g, 2)
+        sub = balls[0].as_graph()
+        assert set(sub.vertices()) == {6, 7, 0, 1, 2}

@@ -1,0 +1,69 @@
+"""Stock message-passing programs: BFS, leader election, convergecast."""
+
+import pytest
+
+from repro.graphs import (
+    binary_tree,
+    caterpillar,
+    cycle_graph,
+    path_graph,
+    random_chordal_graph,
+    random_tree,
+    star_graph,
+)
+from repro.localmodel.programs import bfs_layers, elect_leader, tree_count
+
+
+class TestBFSLayers:
+    def test_matches_centralized_bfs(self):
+        g = random_chordal_graph(30, seed=3)
+        root = g.vertices()[0]
+        layers = bfs_layers(g, root)
+        expected = g.bfs_distances(root)
+        for v in g.vertices():
+            assert layers[v] == expected.get(v)
+
+    def test_unreachable_nodes_get_none(self):
+        from repro.graphs import Graph
+
+        g = Graph(edges=[(1, 2)])
+        g.add_vertex(9)
+        layers = bfs_layers(g, 1)
+        assert layers[9] is None
+        assert layers[2] == 1
+
+    def test_budget_truncates_knowledge(self):
+        g = path_graph(20)
+        layers = bfs_layers(g, 0, budget=5)
+        assert layers[4] == 4
+        assert layers[19] is None  # beyond the round budget
+
+
+class TestLeaderElection:
+    def test_everyone_agrees_on_minimum(self):
+        for graph in (cycle_graph(15), random_tree(40, seed=1), star_graph(9)):
+            views = elect_leader(graph)
+            minimum = min(graph.vertices())
+            assert set(views.values()) == {minimum}
+
+    def test_short_budget_leaves_disagreement(self):
+        g = path_graph(30)
+        views = elect_leader(g, budget=3)
+        assert views[29] != 0  # node 29 cannot have heard from node 0
+
+
+class TestTreeCount:
+    def test_counts_various_trees(self):
+        for tree in (path_graph(17), binary_tree(4), caterpillar(8, 2), star_graph(6)):
+            root = tree.vertices()[0]
+            assert tree_count(tree, root) == len(tree)
+
+    def test_single_vertex(self):
+        from repro.graphs import Graph
+
+        assert tree_count(Graph(vertices=[5]), 5) == 1
+
+    def test_any_root_works(self):
+        tree = random_tree(25, seed=8)
+        for root in list(tree.vertices())[:5]:
+            assert tree_count(tree, root) == 25

@@ -1,0 +1,68 @@
+"""Round ledgers and per-node completion clocks."""
+
+import pytest
+
+from repro.localmodel import NodeClocks, RoundLedger
+
+
+class TestRoundLedger:
+    def test_charges_accumulate(self):
+        ledger = RoundLedger()
+        ledger.charge("collect", 10)
+        ledger.charge("color", 5)
+        ledger.charge("collect", 10)
+        assert ledger.total() == 25
+        assert ledger.by_label() == {"collect": 20, "color": 5}
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            RoundLedger().charge("x", -1)
+
+    def test_merge_with_prefix(self):
+        a, b = RoundLedger(), RoundLedger()
+        b.charge("phase", 7)
+        a.merge(b, prefix="layer1/")
+        assert a.by_label() == {"layer1/phase": 7}
+
+    def test_empty_total(self):
+        assert RoundLedger().total() == 0
+
+
+class TestNodeClocks:
+    def test_set_and_query(self):
+        clocks = NodeClocks()
+        clocks.set_at("a", 5)
+        clocks.set_at("b", 9)
+        assert clocks.at("a") == 5
+        assert "a" in clocks
+        assert "z" not in clocks
+        assert clocks.ready(["a", "b"]) == 9
+        assert clocks.makespan() == 9
+
+    def test_clock_may_stay_or_advance(self):
+        clocks = NodeClocks()
+        clocks.set_at("a", 5)
+        clocks.set_at("a", 5)
+        clocks.set_at("a", 8)
+        assert clocks.at("a") == 8
+
+    def test_clock_cannot_move_backwards(self):
+        clocks = NodeClocks()
+        clocks.set_at("a", 5)
+        with pytest.raises(ValueError):
+            clocks.set_at("a", 4)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            NodeClocks().set_at("a", -1)
+
+    def test_ready_of_nothing(self):
+        assert NodeClocks().ready([]) == 0
+        assert NodeClocks().makespan() == 0
+
+    def test_as_dict_is_copy(self):
+        clocks = NodeClocks()
+        clocks.set_at("a", 1)
+        d = clocks.as_dict()
+        d["a"] = 99
+        assert clocks.at("a") == 1

@@ -1,0 +1,120 @@
+"""Distance-k selections: spacing guarantees and round costs."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import (
+    is_distance_k_independent_set,
+    is_maximal_distance_k_independent_set,
+    path_graph,
+    proper_interval_order,
+    random_proper_interval_graph,
+)
+from repro.localmodel import (
+    charged_rounds_distance_k,
+    greedy_distance_k_selection,
+    log_star,
+    path_spaced_selection,
+)
+
+
+class TestLogStar:
+    def test_values(self):
+        assert log_star(1) == 0
+        assert log_star(2) == 1
+        assert log_star(4) == 2
+        assert log_star(16) == 3
+        assert log_star(65536) == 4
+        assert log_star(2**65536) == 5
+
+
+class TestPathSpacedSelection:
+    def test_empty(self):
+        assert path_spaced_selection([], 3) == ([], 0)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            path_spaced_selection([1, 2], 0)
+
+    def test_spacing_and_coverage(self):
+        rng = random.Random(5)
+        for n, k in [(50, 3), (200, 7), (400, 12), (1000, 25)]:
+            ids = rng.sample(range(10**6), n)
+            selected, rounds = path_spaced_selection(ids, k)
+            pos = {v: i for i, v in enumerate(ids)}
+            ps = sorted(pos[v] for v in selected)
+            assert len(ps) >= 1
+            # pairwise >= k
+            assert all(b - a >= k for a, b in zip(ps, ps[1:]))
+            # consecutive <= 4k, ends <= 4k
+            assert all(b - a <= 4 * k for a, b in zip(ps, ps[1:]))
+            assert ps[0] <= 4 * k
+            assert n - 1 - ps[-1] <= 4 * k
+
+    def test_round_cost_scales_like_k_log_star(self):
+        ids = list(range(2000))
+        _, r5 = path_spaced_selection(ids, 5)
+        _, r40 = path_spaced_selection(ids, 40)
+        # roughly linear in k (the log* factor is shared)
+        assert r40 <= 20 * r5
+        assert r40 > r5
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        n=st.integers(1, 150),
+        k=st.integers(1, 20),
+    )
+    def test_property_spacing(self, seed, n, k):
+        rng = random.Random(seed)
+        ids = rng.sample(range(10**5), n)
+        selected, _ = path_spaced_selection(ids, k)
+        pos = {v: i for i, v in enumerate(ids)}
+        ps = sorted(pos[v] for v in selected)
+        assert len(ps) >= 1
+        assert all(b - a >= k for a, b in zip(ps, ps[1:]))
+        assert ps[0] <= 4 * k and (n - 1 - ps[-1]) <= 4 * k
+
+
+class TestGreedySelection:
+    def test_on_path_graph_is_maximal(self):
+        g = path_graph(60)
+        order = list(range(60))
+        for k in (2, 3, 7):
+            sel = greedy_distance_k_selection(g, order, k)
+            assert is_maximal_distance_k_independent_set(g, sel, k)
+
+    def test_on_proper_interval_graph(self):
+        for seed in range(4):
+            g = random_proper_interval_graph(40, seed=seed, length=0.08)
+            for comp in g.connected_components():
+                sub = g.induced_subgraph(comp)
+                order = proper_interval_order(sub)
+                sel = greedy_distance_k_selection(sub, order, 3)
+                assert is_distance_k_independent_set(sub, sel, 3)
+                assert is_maximal_distance_k_independent_set(sub, sel, 3)
+
+    def test_k1_selects_everything(self):
+        g = path_graph(5)
+        assert greedy_distance_k_selection(g, list(range(5)), 1) == list(range(5))
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            greedy_distance_k_selection(path_graph(3), [0, 1, 2], 0)
+
+
+class TestChargedRounds:
+    def test_zero_for_trivial(self):
+        assert charged_rounds_distance_k(0, 5) == 0
+        assert charged_rounds_distance_k(1, 5) == 0
+
+    def test_monotone_in_k(self):
+        assert charged_rounds_distance_k(1000, 10) < charged_rounds_distance_k(1000, 40)
+
+    def test_log_star_factor(self):
+        # doubling n barely changes the cost
+        a = charged_rounds_distance_k(10**3, 10)
+        b = charged_rounds_distance_k(10**6, 10)
+        assert b <= a + 15

@@ -1,0 +1,69 @@
+"""Network tracing: exact communication patterns of the stock programs."""
+
+import pytest
+
+from repro.graphs import path_graph, star_graph
+from repro.localmodel.gather import BallGatherProgram
+from repro.localmodel.programs import BFSLayerProgram
+from repro.localmodel.trace import TracedNetwork
+
+
+class TestTracedRuns:
+    def test_ball_gather_floods_exactly_radius_rounds(self):
+        g = path_graph(6)
+        radius = 2
+        net = TracedNetwork(
+            g, lambda v, nbrs: BallGatherProgram(v, nbrs, radius, None)
+        )
+        net.run()
+        sending = [r for r in net.rounds if r.message_count > 0]
+        assert len(sending) == radius  # one flooding round per hop
+        # every sending round uses every edge in both directions
+        assert all(r.message_count == 2 * g.num_edges() for r in sending)
+
+    def test_bfs_trace_shows_wavefront(self):
+        g = path_graph(5)
+        net = TracedNetwork(
+            g, lambda v, nbrs: BFSLayerProgram(v, nbrs, root=0, budget=6)
+        )
+        out = net.run()
+        assert out == {i: i for i in range(5)}
+        # node i first sends in round i (when its distance settles)
+        first_send = {}
+        for r in net.rounds:
+            for m in r.messages:
+                first_send.setdefault(m.sender, r.round_number)
+        assert first_send[0] == 0
+        assert first_send[1] == 1
+        assert first_send[4] == 4
+
+    def test_timeline_rendering(self):
+        g = star_graph(3)
+        net = TracedNetwork(
+            g, lambda v, nbrs: BFSLayerProgram(v, nbrs, root=0, budget=3)
+        )
+        net.run()
+        text = net.timeline(max_messages_per_round=2)
+        assert "round 0:" in text
+        assert "sent:" in text
+        assert "+" in text or "->" in text
+
+    def test_total_and_quiet(self):
+        g = path_graph(4)
+        net = TracedNetwork(
+            g, lambda v, nbrs: BFSLayerProgram(v, nbrs, root=0, budget=5)
+        )
+        net.run()
+        assert net.total_messages() >= 3
+        assert isinstance(net.quiet_rounds(), list)
+
+    def test_round_budget(self):
+        from repro.localmodel import NodeProgram
+
+        class Stuck(NodeProgram):
+            def step(self, ctx):
+                return {}
+
+        net = TracedNetwork(path_graph(3), Stuck)
+        with pytest.raises(RuntimeError):
+            net.run(max_rounds=4)

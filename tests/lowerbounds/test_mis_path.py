@@ -1,0 +1,84 @@
+"""The Theorem 9 experiment: r-round MIS on labeled paths."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lowerbounds import (
+    anchor_parity_mis,
+    anchor_radius,
+    measure_r_round_mis,
+)
+
+
+class TestAnchorParityRule:
+    def test_rejects_duplicate_labels(self):
+        with pytest.raises(ValueError):
+            anchor_parity_mis([1, 1, 2], 5)
+
+    def test_empty(self):
+        assert anchor_parity_mis([], 5) == set()
+
+    def test_output_is_independent(self):
+        rng = random.Random(0)
+        for n in (5, 50, 300):
+            for r in (2, 5, 12, 30):
+                labels = rng.sample(range(10**6), n)
+                chosen = anchor_parity_mis(labels, r)
+                assert all(i + 1 not in chosen for i in chosen)
+                assert all(0 <= i < n for i in chosen)
+
+    def test_small_r_falls_back_to_local_minima(self):
+        labels = [5, 1, 4, 2, 9, 0, 7]
+        chosen = anchor_parity_mis(labels, 2)
+        assert chosen == {1, 3, 5}
+
+    def test_locality(self):
+        """Decisions depend only on the radius-r window of labels."""
+        rng = random.Random(7)
+        n, r = 120, 10
+        labels = rng.sample(range(1000, 10_000), n)
+        base = anchor_parity_mis(labels, r)
+        # Change labels far from position 60; its decision must not change.
+        mutated = list(labels)
+        for j in list(range(0, 60 - r - 1)) + list(range(60 + r + 1, n)):
+            mutated[j] = labels[j] + 100_000
+        changed = anchor_parity_mis(mutated, r)
+        assert (60 in base) == (60 in changed)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        n=st.integers(1, 200),
+        r=st.integers(2, 40),
+    )
+    def test_independence_property(self, seed, n, r):
+        rng = random.Random(seed)
+        labels = rng.sample(range(10**6), n)
+        chosen = anchor_parity_mis(labels, r)
+        assert all(i + 1 not in chosen for i in chosen)
+
+
+class TestMeasurement:
+    def test_sample_fields(self):
+        sample = measure_r_round_mis(n=400, r=10, trials=5, seed=1)
+        assert sample.optimum == 200
+        assert 0 < sample.mean_size <= sample.optimum
+        assert sample.density_gap >= 0
+
+    def test_gap_shrinks_with_r(self):
+        """The 1/r (up to log) decay of the density gap."""
+        n, trials = 4000, 6
+        gaps = [
+            measure_r_round_mis(n, r, trials=trials, seed=3).density_gap
+            for r in (4, 16, 64)
+        ]
+        assert gaps[0] > gaps[1] > gaps[2]
+        # quadrupling r should cut the gap by at least half
+        assert gaps[1] <= gaps[0] / 1.8
+        assert gaps[2] <= gaps[1] / 1.8
+
+    def test_ratio_approaches_one(self):
+        sample = measure_r_round_mis(4000, 64, trials=4, seed=2)
+        assert sample.approximation_ratio < 1.1

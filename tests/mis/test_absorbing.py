@@ -1,0 +1,62 @@
+"""Absorbing maximum independent sets (Section 7.1)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import (
+    Graph,
+    complete_graph,
+    path_graph,
+    random_chordal_graph,
+)
+from repro.mis import absorbing_mis, independence_number_chordal, is_absorbing
+
+
+class TestAbsorbingMIS:
+    def test_no_anchor_is_plain_maximum(self):
+        g = path_graph(6)
+        mis = absorbing_mis(g, g, anchor=None)
+        assert len(mis) == independence_number_chordal(g)
+
+    def test_anchored_on_path(self):
+        """On a path hanging off a clique, the furthest-first rule starts
+        at the free end, so the chosen set absorbs toward the clique."""
+        g = Graph()
+        g.add_clique([100, 101, 102])  # the outside clique C
+        for a, b in zip([102, 0, 1, 2, 3], [0, 1, 2, 3, 4]):
+            g.add_edge(a, b)
+        component = g.induced_subgraph(range(5))  # the pendant path H
+        mis = absorbing_mis(component, g, anchor={100, 101, 102})
+        assert component.is_independent_set(mis)
+        assert len(mis) == independence_number_chordal(component)
+        # furthest simplicial vertex (4) must be chosen first
+        assert 4 in mis
+        assert is_absorbing(mis, component, g, excluded=set())
+
+    def test_is_maximum_on_random_components(self):
+        for seed in range(10):
+            g = random_chordal_graph(20, seed=seed)
+            comps = g.connected_components()
+            comp = g.induced_subgraph(comps[0])
+            anchor = set(list(comp.vertices())[:2])
+            mis = absorbing_mis(comp, g, anchor=anchor)
+            assert comp.is_independent_set(mis)
+            assert len(mis) == independence_number_chordal(comp)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 5_000), n=st.integers(2, 22))
+def test_absorbing_property_from_pendant_structures(seed, n):
+    """Attach a pendant interval piece to a clique and verify absorption."""
+    import random
+
+    rng = random.Random(seed)
+    g = path_graph(n)
+    clique = [n + i for i in range(3)]
+    g.add_clique(clique)
+    g.add_edge(n - 1, clique[0])
+    component = g.induced_subgraph(range(n))
+    mis = absorbing_mis(component, g, anchor=set(clique))
+    assert component.is_independent_set(mis)
+    assert len(mis) == independence_number_chordal(component)
+    assert is_absorbing(mis, component, g, excluded=set())

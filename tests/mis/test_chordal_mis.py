@@ -1,0 +1,102 @@
+"""Algorithm 6: (1 + eps)-approximate MIS on chordal graphs (Theorems 7-8)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import (
+    Graph,
+    NotChordalError,
+    caterpillar,
+    complete_graph,
+    cycle_graph,
+    is_independent_set,
+    paper_example_graph,
+    path_graph,
+    random_chordal_graph,
+    random_interval_graph,
+    random_k_tree,
+    random_tree,
+)
+from repro.mis import (
+    chordal_mis,
+    independence_number_chordal,
+    mis_peeling_parameters,
+)
+
+
+def check(graph, epsilon):
+    result = chordal_mis(graph, epsilon)
+    assert is_independent_set(graph, result.independent_set)
+    alpha = independence_number_chordal(graph)
+    assert result.size() * (1 + epsilon) >= alpha, (
+        f"|I| = {result.size()} vs alpha = {alpha} at eps = {epsilon}"
+    )
+    return result
+
+
+class TestParameters:
+    def test_values(self):
+        d, kappa = mis_peeling_parameters(0.25)
+        assert d == 256
+        assert kappa == math.ceil(math.log2(256 / 0.25) + 2)
+
+    def test_invalid_epsilon(self):
+        for eps in (0, 0.5, 1.0, -1):
+            with pytest.raises(ValueError):
+                mis_peeling_parameters(eps)
+
+
+class TestBasics:
+    def test_rejects_non_chordal(self):
+        with pytest.raises(NotChordalError):
+            chordal_mis(cycle_graph(5), 0.3)
+
+    def test_empty(self):
+        assert chordal_mis(Graph(), 0.3).independent_set == set()
+
+    def test_complete_graph(self):
+        result = check(complete_graph(8), 0.3)
+        assert result.size() == 1
+
+    def test_paths(self):
+        for n in (1, 2, 17, 120):
+            check(path_graph(n), 0.3)
+
+    def test_paper_example(self):
+        check(paper_example_graph(), 0.3)
+
+    def test_trees(self):
+        for seed in range(4):
+            check(random_tree(100, seed=seed), 0.4)
+
+    def test_caterpillar(self):
+        check(caterpillar(spine=50, legs_per_vertex=2), 0.3)
+
+    def test_k_tree(self):
+        check(random_k_tree(70, 3, seed=2), 0.3)
+
+    def test_rounds_positive_and_bounded(self):
+        result = chordal_mis(random_tree(300, seed=7), 0.4)
+        d, kappa = mis_peeling_parameters(0.4)
+        assert 0 < result.rounds
+        assert result.peeling.num_layers() <= kappa
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    n=st.integers(1, 40),
+    eps=st.sampled_from([0.2, 0.35, 0.49]),
+)
+def test_algorithm6_property(seed, n, eps):
+    g = random_chordal_graph(n, seed=seed)
+    check(g, eps)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 3_000), n=st.integers(60, 140))
+def test_algorithm6_on_larger_graphs(seed, n):
+    g = random_chordal_graph(n, seed=seed, tree_size=n)
+    check(g, 0.45)

@@ -1,0 +1,78 @@
+"""Internals of Algorithm 6: layer budget, remainder bound, anchoring."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import (
+    binary_tree,
+    caterpillar,
+    random_chordal_graph,
+    random_tree,
+)
+from repro.mis import (
+    chordal_mis,
+    independence_number_chordal,
+    mis_peeling_parameters,
+)
+
+
+class TestRemainderBound:
+    @settings(max_examples=12, deadline=None)
+    @given(seed=st.integers(0, 3_000), n=st.integers(10, 60))
+    def test_lemma14_remainder_alpha(self, seed, n):
+        """alpha(G_{kappa+1}) <= (eps/2) alpha(G): the abandoned remainder
+        cannot hide much independent set."""
+        eps = 0.45
+        g = random_chordal_graph(n, seed=seed)
+        result = chordal_mis(g, eps)
+        remainder = result.peeling.remaining_nodes()
+        if not remainder:
+            return
+        alpha_rest = independence_number_chordal(g.induced_subgraph(remainder))
+        alpha_all = independence_number_chordal(g)
+        assert alpha_rest <= eps / 2 * alpha_all + 1e-9
+
+    def test_deep_tree_leaves_no_big_remainder(self):
+        g = binary_tree(8)  # 511 nodes, log-depth peeling
+        result = chordal_mis(g, 0.45)
+        remainder = result.peeling.remaining_nodes()
+        alpha_all = independence_number_chordal(g)
+        if remainder:
+            alpha_rest = independence_number_chordal(
+                g.induced_subgraph(remainder)
+            )
+            assert alpha_rest <= 0.225 * alpha_all
+
+
+class TestLayerBudget:
+    @pytest.mark.parametrize("eps", [0.45, 0.2, 0.05])
+    def test_kappa_grows_slowly(self, eps):
+        d, kappa = mis_peeling_parameters(eps)
+        assert d >= 64 / eps - 1
+        # kappa = O(log(1/eps)): generous numeric check
+        import math
+
+        assert kappa <= math.log2(1 / eps) * 3 + 18
+
+    def test_layers_capped_by_kappa_on_deep_instances(self):
+        g = binary_tree(9)
+        result = chordal_mis(g, 0.49)
+        assert result.peeling.num_layers() <= result.kappa
+
+
+class TestIndependenceAcrossLayers:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 3_000), n=st.integers(10, 50))
+    def test_no_cross_layer_adjacency_in_output(self, seed, n):
+        g = random_chordal_graph(n, seed=seed)
+        result = chordal_mis(g, 0.4)
+        members = sorted(result.independent_set)
+        for i, u in enumerate(members):
+            for v in members[i + 1:]:
+                assert not g.has_edge(u, v)
+
+    def test_caterpillar_optimal(self):
+        g = caterpillar(spine=40, legs_per_vertex=3)
+        result = chordal_mis(g, 0.45)
+        # legs dominate: the optimum takes all 120 legs
+        assert result.size() == independence_number_chordal(g)

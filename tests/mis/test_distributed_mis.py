@@ -1,0 +1,63 @@
+"""Theorem 8: the distributed MIS cost profile."""
+
+import pytest
+
+from repro.graphs import (
+    is_independent_set,
+    random_chordal_graph,
+    random_tree,
+    unit_interval_chain,
+)
+from repro.localmodel import log_star
+from repro.mis import (
+    chordal_mis,
+    distributed_chordal_mis,
+    independence_number_chordal,
+    mis_peeling_parameters,
+)
+
+
+class TestDistributedMIS:
+    def test_same_set_as_centralized(self):
+        g = random_chordal_graph(60, seed=4)
+        report = distributed_chordal_mis(g, 0.4)
+        central = chordal_mis(g, 0.4)
+        assert report.independent_set == central.independent_set
+
+    def test_guarantee_preserved(self):
+        g = random_tree(200, seed=6)
+        report = distributed_chordal_mis(g, 0.45)
+        assert is_independent_set(g, report.independent_set)
+        alpha = independence_number_chordal(g)
+        assert report.size() * 1.45 >= alpha
+
+    def test_round_structure(self):
+        g = random_tree(300, seed=2)
+        eps = 0.45
+        report = distributed_chordal_mis(g, eps)
+        d, kappa = mis_peeling_parameters(eps)
+        layers = report.result.peeling.num_layers()
+        assert layers <= kappa
+        assert len(report.iteration_finish) == layers
+        assert len(report.layer_solve_rounds) == layers
+        # collections are (2d + 3) each, monotone, and everything finishes
+        # by total_rounds
+        assert report.iteration_finish[0] >= 2 * d + 3
+        assert all(
+            a < b for a, b in zip(report.iteration_finish, report.iteration_finish[1:])
+        )
+        assert all(t <= report.total_rounds for t in report.finish_time.values())
+        assert set(report.finish_time) == set(g.vertices())
+
+    def test_rounds_scale_with_one_over_eps(self):
+        g = random_tree(400, seed=9)
+        fast = distributed_chordal_mis(g, 0.45)
+        slow = distributed_chordal_mis(g, 0.15)
+        assert fast.total_rounds < slow.total_rounds
+
+    def test_log_star_dependence_on_long_chains(self):
+        """Large-alpha paths trigger Algorithm 5's charged k log* n cost."""
+        small = distributed_chordal_mis(unit_interval_chain(300, seed=1), 0.45)
+        large = distributed_chordal_mis(unit_interval_chain(1500, seed=1), 0.45)
+        # growing n five-fold moves rounds by at most the log* budget
+        assert large.total_rounds <= small.total_rounds * (log_star(1500) + 2)

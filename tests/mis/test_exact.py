@@ -1,0 +1,75 @@
+"""Gavril's exact MIS and the simplicial-greedy variant."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import (
+    Graph,
+    brute_force_maximum_independent_set,
+    complete_graph,
+    cycle_graph,
+    paper_example_graph,
+    path_graph,
+    random_chordal_graph,
+    random_k_tree,
+)
+from repro.mis import (
+    greedy_simplicial_mis,
+    independence_number_chordal,
+    maximum_independent_set_chordal,
+)
+
+
+class TestGavril:
+    def test_path(self):
+        g = path_graph(7)
+        mis = maximum_independent_set_chordal(g)
+        assert g.is_independent_set(mis)
+        assert len(mis) == 4
+
+    def test_complete(self):
+        assert len(maximum_independent_set_chordal(complete_graph(5))) == 1
+
+    def test_empty(self):
+        assert maximum_independent_set_chordal(Graph()) == set()
+
+    def test_paper_example(self):
+        g = paper_example_graph()
+        mis = maximum_independent_set_chordal(g)
+        assert g.is_independent_set(mis)
+        assert len(mis) == len(brute_force_maximum_independent_set(g, size_guard=23))
+
+    def test_rejects_non_chordal(self):
+        from repro.graphs import NotChordalError
+
+        with pytest.raises(NotChordalError):
+            maximum_independent_set_chordal(cycle_graph(4))
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 10_000), n=st.integers(1, 30))
+    def test_matches_brute_force(self, seed, n):
+        g = random_chordal_graph(n, seed=seed)
+        mis = maximum_independent_set_chordal(g)
+        assert g.is_independent_set(mis)
+        assert len(mis) == len(brute_force_maximum_independent_set(g))
+
+    def test_independence_number(self):
+        assert independence_number_chordal(path_graph(6)) == 3
+
+
+class TestSimplicialGreedy:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000), n=st.integers(1, 25))
+    def test_always_maximum_regardless_of_priority(self, seed, n):
+        import random
+
+        rng = random.Random(seed)
+        g = random_chordal_graph(n, seed=seed)
+        priority = {v: rng.random() for v in g.vertices()}
+        mis = greedy_simplicial_mis(g, priority=priority)
+        assert g.is_independent_set(mis)
+        assert len(mis) == independence_number_chordal(g)
+
+    def test_rejects_non_chordal(self):
+        with pytest.raises(ValueError):
+            greedy_simplicial_mis(cycle_graph(5))

@@ -1,0 +1,95 @@
+"""Internals of Algorithm 5: the distance-k set, pair regions, fringes."""
+
+import pytest
+
+from repro.graphs import (
+    Graph,
+    is_distance_k_independent_set,
+    is_independent_set,
+    path_graph,
+    proper_interval_order,
+    remove_dominated_vertices,
+    unit_interval_chain,
+)
+from repro.localmodel import greedy_distance_k_selection
+from repro.mis import interval_mis, mis_parameters
+from repro.mis.interval_mis import _component_mis, _long_component_mis
+
+
+class TestComponentDispatch:
+    def test_small_component_exact(self):
+        g = path_graph(20)  # diameter 19 < 10k for k = 6 (eps=0.5)
+        result = _component_mis(g, k=6)
+        assert len(result.independent_set) == 10
+
+    def test_long_component_approximate(self):
+        g = path_graph(300)
+        k = mis_parameters(0.4)
+        chosen, rounds = _long_component_mis(g, k)
+        assert is_independent_set(g, chosen)
+        assert len(chosen) * 1.4 >= 150
+        assert rounds > 0
+
+
+class TestI1Structure:
+    def test_selection_spacing_on_path(self):
+        g = path_graph(200)
+        order = list(range(200))
+        for k in (3, 6, 11):
+            i1 = greedy_distance_k_selection(g, order, k)
+            assert is_distance_k_independent_set(g, i1, k)
+            # maximality => consecutive members within 2k - 1
+            positions = sorted(i1)
+            for a, b in zip(positions, positions[1:]):
+                assert b - a <= 2 * k - 1
+
+    def test_pair_regions_large_enough(self):
+        """|I_{u,v}| >= (k-3)/2: the counting step of Theorem 5's proof."""
+        g = path_graph(500)
+        k = mis_parameters(0.3)  # k = 9
+        i1 = greedy_distance_k_selection(g, list(range(500)), k)
+        positions = sorted(i1)
+        for u, v in zip(positions, positions[1:]):
+            d_uv = v - u
+            between = [w for w in range(u + 2, v - 1)]
+            # exact MIS of the strictly-between region on a path
+            size = (len(between) + 1) // 2
+            assert size >= (k - 3) / 2
+
+
+class TestFringes:
+    def test_right_fringe_covered(self):
+        """Vertices beyond the last I1 member still contribute."""
+        # a path long enough that the greedy's last member is far from
+        # the right end only by < k; verify the total is near-optimal
+        n = 401
+        g = path_graph(n)
+        result = interval_mis(g, 0.3)
+        assert result.size() * 1.3 >= (n + 1) // 2
+
+    def test_isolated_vertices_all_selected(self):
+        g = Graph(vertices=range(10))
+        result = interval_mis(g, 0.5)
+        assert result.independent_set == set(range(10))
+
+
+class TestDominationInterplay:
+    def test_unit_chain_mostly_survives(self):
+        g = unit_interval_chain(150, seed=3)
+        h = remove_dominated_vertices(g)
+        assert len(h) >= 0.5 * len(g)
+
+    def test_survivors_have_umbrella_orders(self):
+        g = unit_interval_chain(120, seed=5)
+        h = remove_dominated_vertices(g)
+        for comp in h.connected_components():
+            sub = h.induced_subgraph(comp)
+            proper_interval_order(sub)  # must not raise
+
+
+class TestEndToEndRatios:
+    @pytest.mark.parametrize("eps", [0.15, 0.3, 0.6, 0.9])
+    def test_path_ratio_tracks_epsilon(self, eps):
+        g = path_graph(600)
+        result = interval_mis(g, eps)
+        assert result.size() * (1 + eps) >= 300

@@ -1,0 +1,111 @@
+"""The command-line interface."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.graphs import cycle_graph, to_edge_list
+
+
+def run_cli(argv):
+    buffer = io.StringIO()
+    code = main(argv, out=buffer)
+    return code, buffer.getvalue()
+
+
+@pytest.fixture
+def tree_file(tmp_path):
+    code, _ = run_cli(
+        ["generate", "tree", "--n", "30", "--seed", "1",
+         "--output", str(tmp_path / "g.edges")]
+    )
+    assert code == 0
+    return str(tmp_path / "g.edges")
+
+
+@pytest.fixture
+def cycle_file(tmp_path):
+    path = tmp_path / "cycle.edges"
+    path.write_text(to_edge_list(cycle_graph(8)))
+    return str(path)
+
+
+class TestInfo:
+    def test_summary_fields(self, tree_file):
+        code, out = run_cli(["info", tree_file])
+        assert code == 0
+        assert "vertices: 30" in out
+        assert "chordal:  True" in out
+        assert "alpha:" in out
+
+    def test_non_chordal_omits_certificates(self, cycle_file):
+        _, out = run_cli(["info", cycle_file])
+        assert "chordal:  False" in out
+        assert "alpha" not in out
+
+
+class TestColor:
+    def test_colors_within_bound(self, tree_file):
+        code, out = run_cli(["color", tree_file, "--epsilon", "0.5"])
+        assert code == 0
+        assert "colors used: 2" in out
+
+    def test_distributed_rounds_reported(self, tree_file):
+        _, out = run_cli(["color", tree_file, "--distributed"])
+        assert "LOCAL rounds:" in out
+
+    def test_output_file(self, tree_file, tmp_path):
+        target = tmp_path / "coloring.json"
+        run_cli(["color", tree_file, "--output", str(target)])
+        coloring = json.loads(target.read_text())
+        assert len(coloring) == 30
+
+    def test_non_chordal_rejected_without_flag(self, cycle_file):
+        with pytest.raises(SystemExit):
+            run_cli(["color", cycle_file])
+
+    def test_triangulate_flag(self, cycle_file):
+        code, out = run_cli(["color", cycle_file, "--triangulate"])
+        assert code == 0
+        assert "triangulated:" in out
+        assert "colors used:" in out
+
+
+class TestMIS:
+    def test_size_and_guarantee(self, tree_file):
+        code, out = run_cli(["mis", tree_file, "--epsilon", "0.4"])
+        assert code == 0
+        assert "independent set size:" in out
+        assert "guarantee" in out
+
+    def test_output_file(self, tree_file, tmp_path):
+        target = tmp_path / "mis.json"
+        run_cli(["mis", tree_file, "--output", str(target)])
+        members = json.loads(target.read_text())
+        assert len(members) >= 10
+
+
+class TestGenerate:
+    def test_stdout_default(self):
+        code, out = run_cli(["generate", "unit-chain", "--n", "15"])
+        assert code == 0
+        assert "vertices:" in out
+
+    def test_all_families(self, tmp_path):
+        for family in ("chordal", "tree", "interval", "interval-chain",
+                       "unit-chain", "k-tree"):
+            target = tmp_path / f"{family}.edges"
+            code, _ = run_cli(
+                ["generate", family, "--n", "25", "--output", str(target)]
+            )
+            assert code == 0
+            assert target.exists()
+
+
+class TestReport:
+    def test_single_experiment(self):
+        code, out = run_cli(["report", "L6"])
+        assert code == 0
+        assert "Lemma 6" in out

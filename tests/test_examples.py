@@ -1,0 +1,60 @@
+"""Smoke tests: every example script runs end to end and prints its report."""
+
+import importlib.util
+import io
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        module.main()
+    return buffer.getvalue()
+
+
+def test_quickstart():
+    out = run_example("quickstart")
+    assert "paper Fig.1" in out
+    assert "All outputs validated" in out
+
+
+def test_paper_walkthrough():
+    out = run_example("paper_walkthrough")
+    assert "Figure 2" in out
+    assert "True" in out
+    assert "layer" in out
+
+
+def test_frequency_assignment():
+    out = run_example("frequency_assignment")
+    assert "frequencies" in out
+    assert "interference-free" in out
+
+
+def test_junction_tree_scheduling():
+    out = run_example("junction_tree_scheduling")
+    assert "Algorithm 1" in out
+    assert "Algorithm 6" in out
+    assert "Luby" in out
+
+
+def test_lower_bound_experiment():
+    out = run_example("lower_bound_experiment")
+    assert "rounds r" in out
+    assert "Omega(1/eps)" in out or "Theorem 9" in out
+
+
+def test_arbitrary_graph_pipeline():
+    out = run_example("arbitrary_graph_pipeline")
+    assert "triangulation" in out
+    assert "[ok ]" in out
+    assert "FAIL" not in out

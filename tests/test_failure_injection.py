@@ -1,0 +1,117 @@
+"""Failure injection: every public entry point rejects bad inputs loudly.
+
+A production library must fail with the documented exception and a usable
+message, not with a deep internal traceback or -- worse -- silently wrong
+output.  Each case here feeds a malformed input to a public API and pins
+the exception type.
+"""
+
+import pytest
+
+from repro.cliquetree import NotIntervalError, clique_paths_of_interval_graph
+from repro.coloring import (
+    ColoringParameters,
+    PathBags,
+    col_int_graph,
+    color_chordal_graph,
+    distributed_color_chordal,
+    extend_path_coloring,
+)
+from repro.graphs import (
+    Graph,
+    NotChordalError,
+    NotProperIntervalError,
+    cycle_graph,
+    path_graph,
+    proper_interval_order,
+)
+from repro.mis import chordal_mis, distributed_chordal_mis, interval_mis
+from repro.localmodel import path_spaced_selection, three_color_path
+
+
+NON_CHORDAL = cycle_graph(6)
+
+
+class TestNonChordalInputs:
+    def test_coloring_entry_points(self):
+        with pytest.raises(NotChordalError):
+            color_chordal_graph(NON_CHORDAL, k=2)
+        with pytest.raises(NotChordalError):
+            distributed_color_chordal(NON_CHORDAL, k=2)
+
+    def test_mis_entry_points(self):
+        with pytest.raises(NotChordalError):
+            chordal_mis(NON_CHORDAL, 0.3)
+        with pytest.raises(NotChordalError):
+            distributed_chordal_mis(NON_CHORDAL, 0.3)
+
+    def test_interval_entry_points(self):
+        with pytest.raises(NotIntervalError):
+            clique_paths_of_interval_graph(NON_CHORDAL)
+        with pytest.raises(NotIntervalError):
+            col_int_graph(NON_CHORDAL, k=2)
+        with pytest.raises(NotProperIntervalError):
+            proper_interval_order(NON_CHORDAL)
+
+
+class TestParameterRanges:
+    @pytest.mark.parametrize("eps", [0.0, -0.2])
+    def test_coloring_epsilon(self, eps):
+        with pytest.raises(ValueError):
+            color_chordal_graph(path_graph(4), epsilon=eps)
+
+    @pytest.mark.parametrize("eps", [0.0, 0.5, 0.7, 1.0, -1.0])
+    def test_chordal_mis_epsilon(self, eps):
+        with pytest.raises(ValueError):
+            chordal_mis(path_graph(4), eps)
+
+    @pytest.mark.parametrize("eps", [0.0, 1.0, 2.0])
+    def test_interval_mis_epsilon(self, eps):
+        with pytest.raises(ValueError):
+            interval_mis(path_graph(4), eps)
+
+    def test_k_range(self):
+        with pytest.raises(ValueError):
+            ColoringParameters.from_k(-1)
+
+
+class TestLocalModelInputs:
+    def test_linial_duplicate_ids(self):
+        with pytest.raises(ValueError):
+            three_color_path([3, 3])
+
+    def test_spacing_zero(self):
+        with pytest.raises(ValueError):
+            path_spaced_selection([1, 2, 3], 0)
+
+
+class TestExtensionMisuse:
+    def test_fixed_vertex_not_on_boundary(self):
+        g = path_graph(10)
+        bags = PathBags([{i, i + 1} for i in range(9)])
+        with pytest.raises(ValueError, match="bag 0"):
+            extend_path_coloring(
+                g, bags, [1, 2, 3], fixed_left={5: 1}, fixed_right={9: 2}
+            )
+
+    def test_unknown_fixed_vertex(self):
+        g = path_graph(4)
+        bags = PathBags([{i, i + 1} for i in range(3)])
+        with pytest.raises(KeyError):
+            extend_path_coloring(
+                g, bags, [1, 2], fixed_left={99: 1}, fixed_right={3: 2}
+            )
+
+
+class TestDegenerateGraphs:
+    def test_everything_handles_empty(self):
+        g = Graph()
+        assert color_chordal_graph(g, k=2).coloring == {}
+        assert chordal_mis(g, 0.3).independent_set == set()
+        assert interval_mis(g, 0.5).independent_set == set()
+        assert distributed_color_chordal(g, k=2).total_rounds == 0
+
+    def test_everything_handles_singleton(self):
+        g = Graph(vertices=["only"])
+        assert color_chordal_graph(g, k=2).coloring == {"only": 1}
+        assert chordal_mis(g, 0.3).independent_set == {"only"}

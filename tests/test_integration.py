@@ -1,0 +1,111 @@
+"""Cross-cutting integration tests: whole pipelines on shared instances.
+
+These exercise interactions the per-module tests cannot: the same graph
+flowing through coloring, MIS, verification, serialization, and the
+distributed drivers, with all invariants checked jointly.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coloring import color_chordal_graph, distributed_color_chordal
+from repro.graphs import (
+    clique_number,
+    dump_json,
+    is_proper_coloring,
+    load_json,
+    minimum_clique_cover_chordal,
+    paper_example_graph,
+    random_chordal_graph,
+    random_k_tree,
+    triangulate,
+    unit_interval_chain,
+)
+from repro.mis import (
+    chordal_mis,
+    distributed_chordal_mis,
+    independence_number_chordal,
+    interval_mis,
+    maximum_independent_set_chordal,
+)
+from repro.verify import verify_coloring_run, verify_mis_run
+
+
+class TestJointPipelines:
+    @settings(max_examples=12, deadline=None)
+    @given(seed=st.integers(0, 3_000), n=st.integers(10, 60))
+    def test_coloring_and_mis_coexist(self, seed, n):
+        """Both algorithms on one instance; perfect-graph identities hold."""
+        g = random_chordal_graph(n, seed=seed)
+        coloring = color_chordal_graph(g, k=2)
+        mis = chordal_mis(g, 0.4)
+        verify_coloring_run(g, coloring).raise_if_failed()
+        verify_mis_run(g, mis).raise_if_failed()
+        # perfection: chi = omega, alpha = clique cover size
+        chi = clique_number(g)
+        alpha = independence_number_chordal(g)
+        assert coloring.num_colors() >= chi
+        assert len(minimum_clique_cover_chordal(g)) == alpha
+        # the trivial duality alpha * chi >= n
+        if len(g) > 0:
+            assert alpha * max(1, chi) >= len(g)
+
+    def test_serialization_preserves_results(self):
+        g = random_chordal_graph(50, seed=11)
+        restored = load_json(dump_json(g))
+        original = color_chordal_graph(g, k=2).coloring
+        roundtrip = color_chordal_graph(restored, k=2).coloring
+        assert original == roundtrip  # everything is deterministic
+
+    def test_distributed_drivers_agree_with_centralized(self):
+        g = random_chordal_graph(70, seed=4, tree_size=70)
+        assert (
+            distributed_color_chordal(g, k=2).coloring
+            == color_chordal_graph(g, k=2).coloring
+        )
+        assert (
+            distributed_chordal_mis(g, 0.4).independent_set
+            == chordal_mis(g, 0.4).independent_set
+        )
+
+    def test_interval_instance_through_both_mis_algorithms(self):
+        """Algorithm 5 directly vs Algorithm 6 (which may call it)."""
+        g = unit_interval_chain(250, seed=2)
+        alpha = independence_number_chordal(g)
+        five = interval_mis(g, 0.3)
+        six = chordal_mis(g, 0.3)
+        assert five.size() * 1.3 >= alpha
+        assert six.size() * 1.3 >= alpha
+
+    def test_triangulated_pipeline_end_to_end(self):
+        from tests.graphs.test_triangulation import random_graph
+
+        g = random_graph(45, 0.07, seed=12)
+        h = triangulate(g).chordal_graph
+        coloring = color_chordal_graph(h, epsilon=0.5)
+        assert is_proper_coloring(g, coloring.coloring)
+        mis = chordal_mis(h, 0.45)
+        assert g.is_independent_set(mis.independent_set)
+
+    def test_paper_example_full_stack(self):
+        g = paper_example_graph()
+        coloring = color_chordal_graph(g, epsilon=0.5)
+        mis = chordal_mis(g, 0.3)
+        verify_coloring_run(g, coloring).raise_if_failed()
+        verify_mis_run(g, mis).raise_if_failed()
+        assert coloring.num_colors() == 3  # chi of the example
+        assert mis.size() >= math.ceil(10 / 1.3)  # alpha = 10
+
+    def test_extreme_epsilons(self):
+        g = random_k_tree(60, 4, seed=3)
+        tight = color_chordal_graph(g, epsilon=0.05)
+        loose = color_chordal_graph(g, epsilon=1.9)
+        assert tight.num_colors() <= loose.parameters.palette_size(tight.chi)
+        verify_coloring_run(g, tight).raise_if_failed()
+        verify_coloring_run(g, loose).raise_if_failed()
+        near_half = chordal_mis(g, 0.499)
+        small = chordal_mis(g, 0.01)
+        verify_mis_run(g, near_half).raise_if_failed()
+        verify_mis_run(g, small).raise_if_failed()

@@ -1,0 +1,73 @@
+"""The end-to-end verification module."""
+
+import pytest
+
+from repro.coloring import color_chordal_graph
+from repro.graphs import cycle_graph, random_chordal_graph
+from repro.mis import chordal_mis
+from repro.verify import VerificationReport, verify_coloring_run, verify_mis_run
+
+
+class TestReportMechanics:
+    def test_ok_and_failures(self):
+        report = VerificationReport()
+        report.add("a", True)
+        report.add("b", False, "boom")
+        assert not report.ok
+        assert [c.name for c in report.failures()] == ["b"]
+        with pytest.raises(AssertionError, match="boom"):
+            report.raise_if_failed()
+
+    def test_summary_rendering(self):
+        report = VerificationReport()
+        report.add("something", True, "detail")
+        assert "[ok ] something -- detail" in report.summary()
+
+
+class TestColoringVerification:
+    def test_passing_run(self):
+        g = random_chordal_graph(60, seed=3)
+        result = color_chordal_graph(g, k=2)
+        report = verify_coloring_run(g, result)
+        assert report.ok, report.summary()
+
+    def test_detects_corrupted_coloring(self):
+        g = random_chordal_graph(40, seed=1)
+        result = color_chordal_graph(g, k=2)
+        u, v = g.edges()[0]
+        result.coloring[u] = result.coloring[v]
+        report = verify_coloring_run(g, result)
+        assert not report.ok
+        names = {c.name for c in report.failures()}
+        assert "coloring is proper and total" in names
+
+    def test_non_chordal_short_circuits(self):
+        g = random_chordal_graph(20, seed=2)
+        result = color_chordal_graph(g, k=2)
+        report = verify_coloring_run(cycle_graph(6), result)
+        assert not report.ok
+        assert len(report.checks) == 1
+
+
+class TestMISVerification:
+    def test_passing_run(self):
+        g = random_chordal_graph(60, seed=5)
+        result = chordal_mis(g, 0.4)
+        report = verify_mis_run(g, result)
+        assert report.ok, report.summary()
+
+    def test_detects_corrupted_set(self):
+        g = random_chordal_graph(40, seed=7)
+        result = chordal_mis(g, 0.4)
+        u, v = g.edges()[0]
+        result.independent_set.update({u, v})
+        report = verify_mis_run(g, result)
+        assert not report.ok
+
+    def test_detects_undersized_set(self):
+        g = random_chordal_graph(40, seed=8)
+        result = chordal_mis(g, 0.4)
+        result.independent_set.clear()
+        report = verify_mis_run(g, result)
+        names = {c.name for c in report.failures()}
+        assert "size within (1+eps) of alpha (Theorem 7)" in names
