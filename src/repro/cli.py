@@ -7,6 +7,7 @@ Commands:
 * ``mis GRAPH``        -- run Algorithm 6, print or save the set
 * ``generate FAMILY``  -- write a seeded random instance as an edge list
 * ``report [IDS...]``  -- regenerate the EXPERIMENTS.md tables
+* ``lint [PATHS...]``  -- LOCAL-model conformance linter (see ``repro.lint``)
 
 ``GRAPH`` is an edge-list file (see :mod:`repro.graphs.io`); ``-`` reads
 stdin.  Non-chordal inputs are rejected unless ``--triangulate`` is given,
@@ -88,6 +89,16 @@ def build_parser() -> argparse.ArgumentParser:
     rep = sub.add_parser("report", help="regenerate experiment tables")
     rep.add_argument("ids", nargs="*", choices=[[], *sorted(EXPERIMENTS)][1:] or None,
                      help="experiment ids (default: all)")
+
+    lint = sub.add_parser(
+        "lint", help="check NodeProgram classes for LOCAL-model conformance"
+    )
+    lint.add_argument("paths", nargs="*",
+                      help="files or directories (default: the repro package)")
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument("--select", default="all",
+                      help="comma-separated rule codes (default: all)")
+    lint.add_argument("--show-suppressed", action="store_true")
 
     return parser
 
@@ -176,6 +187,14 @@ def main(argv: Optional[list] = None, out=None) -> int:
     if args.command == "report":
         print(run_report(list(args.ids)), file=out)
         return 0
+
+    if args.command == "lint":
+        from .lint.cli import main as lint_main
+
+        lint_argv = [*args.paths, "--format", args.format, "--select", args.select]
+        if args.show_suppressed:
+            lint_argv.append("--show-suppressed")
+        return lint_main(lint_argv, out=out)
 
     raise AssertionError("unreachable")
 

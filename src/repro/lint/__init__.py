@@ -1,0 +1,54 @@
+"""LOCAL-model conformance checking for node programs.
+
+Round counts in this repository are only meaningful if every
+:class:`~repro.localmodel.network.NodeProgram` plays by the LOCAL-model
+rules: no access to global graph state, no state shared between node
+instances, no hidden nondeterminism, no reading beyond the declared
+neighborhood, no mutation of delivered messages.  This package checks
+that contract statically:
+
+* :mod:`repro.lint.rules` -- the rule set L1-L5 and its rationale;
+* :mod:`repro.lint.analyzer` -- the AST analysis (NodeProgram subclass
+  closure + per-method visitors);
+* :mod:`repro.lint.findings` -- findings and text/JSON rendering;
+* :mod:`repro.lint.suppressions` -- ``# repro-lint: disable=...`` comments;
+* :mod:`repro.lint.cli` -- ``python -m repro.lint`` / ``repro lint``.
+
+The dynamic counterpart is the sealed-context mode of
+:class:`~repro.localmodel.network.SyncNetwork` (``sealed=True``), which
+enforces L4/L5 at runtime; ``tests/lint`` cross-validates the two on
+deliberately cheating programs.
+"""
+
+from .analyzer import (
+    NODE_PROGRAM_ROOT,
+    active_findings,
+    analyze_paths,
+    analyze_source,
+    iter_python_files,
+)
+from .cli import default_paths, main, run_lint
+from .findings import Finding, format_json, format_text, sort_findings
+from .rules import ALL_RULE_CODES, RULES, Rule, normalize_codes
+from .suppressions import Suppressions, parse_suppressions
+
+__all__ = [
+    "NODE_PROGRAM_ROOT",
+    "active_findings",
+    "analyze_paths",
+    "analyze_source",
+    "iter_python_files",
+    "default_paths",
+    "main",
+    "run_lint",
+    "Finding",
+    "format_json",
+    "format_text",
+    "sort_findings",
+    "ALL_RULE_CODES",
+    "RULES",
+    "Rule",
+    "normalize_codes",
+    "Suppressions",
+    "parse_suppressions",
+]

@@ -1,0 +1,580 @@
+"""AST-based LOCAL-model conformance analysis of node programs.
+
+The analyzer runs in two passes.  Pass one parses every ``.py`` file under
+the given paths and records, per module: the classes it defines (with their
+base-class names), which imported names refer to global graph state (rule
+L1), which refer to nondeterminism sources (rule L3), and which
+module-level names are bound to mutable objects (rule L2).  Pass two
+resolves the transitive subclass closure of :class:`NodeProgram` *by name
+across all scanned modules* -- so a program inheriting from an intermediate
+helper class is still analyzed -- and walks each such class with
+:class:`_MethodVisitor`, emitting :class:`~repro.lint.findings.Finding`
+objects for rules L1-L5.
+
+Name-based resolution is deliberate: the linter must work on files that
+cannot be imported (fixtures with deliberate violations, future node code
+with missing optional deps).  The cost is that a class named ``NodeProgram``
+from an unrelated library would be picked up; in this repository there is
+exactly one.
+
+Annotation subtrees are never visited: ``rng: random.Random`` is a type,
+not a use of the ``random`` module.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .findings import Finding, sort_findings
+from .suppressions import Suppressions, parse_suppressions
+
+__all__ = [
+    "analyze_paths",
+    "analyze_source",
+    "active_findings",
+    "iter_python_files",
+    "NODE_PROGRAM_ROOT",
+]
+
+#: The root of the subclass closure the analyzer walks.
+NODE_PROGRAM_ROOT = "NodeProgram"
+
+#: Names that constitute global graph state when referenced from a node
+#: program, regardless of which module they were imported from.
+_GRAPH_STATE_NAMES = frozenset({"Graph", "SyncNetwork", "TracedNetwork"})
+
+#: Pure type aliases exported by the graphs package; naming a vertex *type*
+#: is not the same as touching the graph, so these never trigger L1.
+_TYPE_ALIAS_NAMES = frozenset({"Vertex", "Edge"})
+
+#: Modules whose direct use inside a node program is nondeterministic (or
+#: environment-dependent, which is the same violation for round accounting).
+_NONDET_MODULES = frozenset({"random", "time", "os", "secrets", "uuid"})
+
+#: Builtins whose results vary across interpreter runs (salted hashing).
+_NONDET_BUILTINS = frozenset({"hash", "id"})
+
+#: Calls that build a fresh mutable container at class level / as a default.
+_MUTABLE_FACTORIES = frozenset(
+    {"list", "dict", "set", "bytearray", "defaultdict", "deque", "Counter", "OrderedDict"}
+)
+
+#: Method names that mutate their receiver in place.
+_MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "update",
+        "remove",
+        "discard",
+        "pop",
+        "popitem",
+        "clear",
+        "setdefault",
+        "sort",
+        "reverse",
+    }
+)
+
+#: Calls that copy their argument, so the result is NOT an aliased message.
+_PURIFYING_CALLS = frozenset(
+    {"list", "dict", "set", "tuple", "frozenset", "sorted", "deepcopy", "copy"}
+)
+
+
+def _is_mutable_literal(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else getattr(func, "attr", None)
+        return name in _MUTABLE_FACTORIES
+    return False
+
+
+def _attr_chain(node: ast.AST) -> Tuple[str, ...]:
+    """``a.b.c`` -> ("a", "b", "c"); empty tuple when not a pure name chain."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return ()
+
+
+class _ModuleInfo:
+    """Everything pass one learns about a single source file."""
+
+    def __init__(self, path: str, tree: ast.Module, suppressions: Suppressions):
+        self.path = path
+        self.tree = tree
+        self.suppressions = suppressions
+        self.classes: Dict[str, ast.ClassDef] = {}
+        self.base_names: Dict[str, Set[str]] = {}
+        self.graph_symbols: Set[str] = set()
+        self.nondet_symbols: Set[str] = set()
+        self.module_mutables: Set[str] = set()
+        self._scan()
+
+    def _scan(self) -> None:
+        for node in self.tree.body:
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    root = alias.name.split(".")[0]
+                    if root in _NONDET_MODULES:
+                        self.nondet_symbols.add(bound)
+                    if "graphs" in alias.name.split("."):
+                        self.graph_symbols.add(bound)
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                segments = module.split(".")
+                for alias in node.names:
+                    bound = alias.asname or alias.name
+                    if segments and segments[-1] in _NONDET_MODULES:
+                        self.nondet_symbols.add(bound)
+                    if alias.name in _GRAPH_STATE_NAMES or (
+                        "graphs" in segments and alias.name not in _TYPE_ALIAS_NAMES
+                    ):
+                        self.graph_symbols.add(bound)
+            elif isinstance(node, ast.ClassDef):
+                self.classes[node.name] = node
+                self.base_names[node.name] = {
+                    chain[-1] for base in node.bases if (chain := _attr_chain(base))
+                }
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                value = node.value
+                if value is None or not _is_mutable_literal(value):
+                    continue
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        self.module_mutables.add(target.id)
+
+
+def iter_python_files(paths: Iterable[Path]) -> List[Path]:
+    """All ``.py`` files under ``paths``, skipping caches and build output."""
+    out: List[Path] = []
+    for path in paths:
+        path = Path(path)
+        if path.is_file():
+            if path.suffix == ".py":
+                out.append(path)
+            continue
+        for candidate in sorted(path.rglob("*.py")):
+            parts = set(candidate.parts)
+            if parts & {"__pycache__", ".git", ".pytest_cache"}:
+                continue
+            if any(p.endswith(".egg-info") for p in candidate.parts):
+                continue
+            out.append(candidate)
+    return out
+
+
+def _subclass_closure(modules: Sequence[_ModuleInfo]) -> Dict[str, List[Tuple[_ModuleInfo, ast.ClassDef]]]:
+    """Resolve which scanned classes are (transitive) NodeProgram subclasses.
+
+    Returns class name -> definitions (a name can recur across modules;
+    every definition is analyzed).
+    """
+    known: Set[str] = {NODE_PROGRAM_ROOT}
+    changed = True
+    while changed:
+        changed = False
+        for info in modules:
+            for name, bases in info.base_names.items():
+                if name not in known and bases & known:
+                    known.add(name)
+                    changed = True
+    out: Dict[str, List[Tuple[_ModuleInfo, ast.ClassDef]]] = {}
+    for info in modules:
+        for name, node in info.classes.items():
+            if name in known and name != NODE_PROGRAM_ROOT:
+                out.setdefault(name, []).append((info, node))
+    return out
+
+
+class _MethodVisitor(ast.NodeVisitor):
+    """Walks one method (or nested function) of a node-program class.
+
+    Tracks two name sets as it goes: *neighbor-derived* names (safe keys for
+    ``ctx.inbox``) and *message-tainted* names (objects received from the
+    inbox, which must not be mutated).  The tracking is a per-method
+    forward scan, not a full data-flow analysis -- adequate for the simple
+    method bodies node programs should have, and false positives can always
+    be suppressed with a ``repro-lint`` comment.
+    """
+
+    def __init__(self, checker: "_ClassChecker", func: ast.FunctionDef):
+        self.checker = checker
+        self.func = func
+        self.ctx_names: Set[str] = set()
+        self.neighbor_names: Set[str] = set()
+        self.tainted: Set[str] = set()
+        for arg in list(func.args.posonlyargs) + list(func.args.args) + list(func.args.kwonlyargs):
+            annotation = arg.annotation
+            chain = _attr_chain(annotation) if annotation is not None else ()
+            if arg.arg in ("ctx", "context") or (chain and chain[-1] == "NodeContext"):
+                self.ctx_names.add(arg.arg)
+
+    # -- helpers -------------------------------------------------------
+
+    def _report(self, rule: str, node: ast.AST, message: str) -> None:
+        self.checker.report(rule, node, message, self.func.name)
+
+    def _is_ctx(self, node: ast.AST) -> bool:
+        return isinstance(node, ast.Name) and node.id in self.ctx_names
+
+    def _is_inbox(self, node: ast.AST) -> bool:
+        return (
+            isinstance(node, ast.Attribute)
+            and node.attr == "inbox"
+            and self._is_ctx(node.value)
+        )
+
+    def _is_neighbor_source(self, node: ast.AST) -> bool:
+        """Iterables whose elements are legitimate neighbor identifiers."""
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in ("keys", "items") and self._is_inbox(node.func.value):
+                return True
+            return False
+        if isinstance(node, ast.Attribute) and node.attr == "neighbors":
+            base = node.value
+            return self._is_ctx(base) or (isinstance(base, ast.Name) and base.id == "self")
+        return self._is_inbox(node)
+
+    def _is_message_source(self, node: ast.AST) -> bool:
+        """Expressions that yield (iterables of) received message objects."""
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr == "values" and self._is_inbox(node.func.value):
+                return True
+            if node.func.attr == "get" and self._is_inbox(node.func.value):
+                return True
+        if isinstance(node, ast.Subscript) and self._is_inbox(node.value):
+            return not isinstance(node.ctx, (ast.Store, ast.Del))
+        return isinstance(node, ast.Name) and node.id in self.tainted
+
+    def _allowed_inbox_key(self, key: ast.AST) -> bool:
+        if isinstance(key, ast.Name):
+            return key.id in self.neighbor_names
+        return False
+
+    def _bind_loop_target(self, target: ast.AST, source: ast.AST) -> None:
+        """Record what names bound by ``for target in source`` mean."""
+        items_call = (
+            isinstance(source, ast.Call)
+            and isinstance(source.func, ast.Attribute)
+            and source.func.attr == "items"
+            and self._is_inbox(source.func.value)
+        )
+        if items_call and isinstance(target, ast.Tuple) and len(target.elts) == 2:
+            key_t, value_t = target.elts
+            if isinstance(key_t, ast.Name):
+                self.neighbor_names.add(key_t.id)
+            if isinstance(value_t, ast.Name):
+                self.tainted.add(value_t.id)
+            return
+        if self._is_neighbor_source(source):
+            for name in self._bound_names(target):
+                self.neighbor_names.add(name)
+        elif self._is_message_source(source):
+            for name in self._bound_names(target):
+                self.tainted.add(name)
+
+    # -- annotation skipping ------------------------------------------
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        args = node.args
+        for default in list(args.defaults) + [d for d in args.kw_defaults if d]:
+            if _is_mutable_literal(default):
+                self._report(
+                    "L2",
+                    default,
+                    f"mutable default argument in {node.name}() is shared "
+                    "across calls and node instances",
+                )
+            self.visit(default)
+        for stmt in node.body:
+            self.visit(stmt)
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._record_assign([node.target], node.value)
+            self.visit(node.target)
+            self.visit(node.value)
+
+    # -- bindings ------------------------------------------------------
+
+    @staticmethod
+    def _bound_names(target: ast.AST):
+        """Names (re)bound by an assignment target.
+
+        Only plain names and unpacking count: ``x[k] = v`` / ``x.a = v``
+        store *into* an object but do not rebind ``x``, so they must not
+        change what ``x`` is known to be.
+        """
+        if isinstance(target, ast.Name):
+            yield target.id
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                yield from _MethodVisitor._bound_names(elt)
+        elif isinstance(target, ast.Starred):
+            yield from _MethodVisitor._bound_names(target.value)
+
+    def _record_assign(self, targets: Sequence[ast.AST], value: ast.AST) -> None:
+        purifying = (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id in _PURIFYING_CALLS
+        )
+        tainted = not purifying and self._is_message_source(value)
+        for target in targets:
+            for name in self._bound_names(target):
+                if tainted:
+                    self.tainted.add(name)
+                else:
+                    self.tainted.discard(name)
+                    self.neighbor_names.discard(name)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._record_assign(node.targets, node.value)
+        self.generic_visit(node)
+
+    def visit_For(self, node: ast.For) -> None:
+        self._bind_loop_target(node.target, node.iter)
+        self.generic_visit(node)
+
+    def visit_comprehension_generators(self, generators) -> None:
+        for gen in generators:
+            self._bind_loop_target(gen.target, gen.iter)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self.visit_comprehension_generators(node.generators)
+        self.generic_visit(node)
+
+    visit_SetComp = visit_ListComp
+    visit_GeneratorExp = visit_ListComp
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self.visit_comprehension_generators(node.generators)
+        self.generic_visit(node)
+
+    # -- rule checks ---------------------------------------------------
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load):
+            if node.id in self.checker.module.graph_symbols:
+                self._report(
+                    "L1",
+                    node,
+                    f"reference to global graph state {node.id!r}; a node may "
+                    "only use its ID, neighbor list, and inbox",
+                )
+            if node.id in self.checker.module.nondet_symbols:
+                self._report(
+                    "L3",
+                    node,
+                    f"direct use of nondeterminism source {node.id!r}; inject "
+                    "a seeded random.Random through the constructor instead",
+                )
+
+    def visit_Global(self, node: ast.Global) -> None:
+        self._report(
+            "L2",
+            node,
+            f"global statement ({', '.join(node.names)}) shares module state "
+            "between node instances",
+        )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in _NONDET_BUILTINS:
+            self._report(
+                "L3",
+                node,
+                f"{func.id}() varies between interpreter runs "
+                "(salted hashing / object identity)",
+            )
+        if isinstance(func, ast.Attribute):
+            receiver = func.value
+            if self._is_inbox(receiver):
+                if func.attr == "get":
+                    if node.args and not self._allowed_inbox_key(node.args[0]):
+                        self._report(
+                            "L4",
+                            node,
+                            "ctx.inbox.get() keyed by something not derived "
+                            "from this node's neighborhood",
+                        )
+                elif func.attr in _MUTATOR_METHODS:
+                    self._report(
+                        "L5",
+                        node,
+                        f"ctx.inbox.{func.attr}() mutates the inbox; contexts "
+                        "are read-only",
+                    )
+            elif func.attr in _MUTATOR_METHODS:
+                if isinstance(receiver, ast.Name) and receiver.id in self.tainted:
+                    self._report(
+                        "L5",
+                        node,
+                        f"{receiver.id}.{func.attr}() mutates a received "
+                        "message; messages must be treated as immutable",
+                    )
+                elif (
+                    isinstance(receiver, ast.Name)
+                    and receiver.id in self.checker.module.module_mutables
+                ):
+                    self._report(
+                        "L2",
+                        node,
+                        f"{receiver.id}.{func.attr}() mutates module-level "
+                        "state shared between node instances",
+                    )
+        self.generic_visit(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        # `x in ctx.inbox` answers a question about x's message even when x
+        # is not a neighbor -- the same covert channel as inbox[x].
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if isinstance(op, (ast.In, ast.NotIn)) and self._is_inbox(right):
+                if not self._allowed_inbox_key(left):
+                    self._report(
+                        "L4",
+                        node,
+                        "membership test against ctx.inbox with a key not "
+                        "derived from this node's neighborhood",
+                    )
+        self.generic_visit(node)
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        if self._is_inbox(node.value):
+            if isinstance(node.ctx, (ast.Store, ast.Del)):
+                self._report("L5", node, "assignment into ctx.inbox; contexts are read-only")
+            elif not self._allowed_inbox_key(node.slice):
+                self._report(
+                    "L4",
+                    node,
+                    "ctx.inbox subscripted by something not derived from this "
+                    "node's neighborhood",
+                )
+        elif isinstance(node.ctx, (ast.Store, ast.Del)):
+            base = node.value
+            if isinstance(base, ast.Name) and base.id in self.tainted:
+                self._report(
+                    "L5",
+                    node,
+                    f"item assignment into received message {base.id!r}; "
+                    "messages must be treated as immutable",
+                )
+            elif isinstance(base, ast.Name) and base.id in self.checker.module.module_mutables:
+                self._report(
+                    "L2",
+                    node,
+                    f"item assignment into module-level {base.id!r} shares "
+                    "state between node instances",
+                )
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if isinstance(node.ctx, (ast.Store, ast.Del)) and self._is_ctx(node.value):
+            self._report(
+                "L5",
+                node,
+                f"assignment to ctx.{node.attr}; contexts are read-only views",
+            )
+        self.generic_visit(node)
+
+    # Annotations on nested assignments/arguments are skipped via the
+    # overridden visit_FunctionDef / visit_AnnAssign above; Return/other
+    # statements carry no annotations.
+
+
+class _ClassChecker:
+    """Applies rules L1-L5 to one NodeProgram subclass definition."""
+
+    def __init__(self, module: _ModuleInfo, node: ast.ClassDef, findings: List[Finding]):
+        self.module = module
+        self.node = node
+        self.findings = findings
+
+    def report(self, rule: str, at: ast.AST, message: str, method: str = "") -> None:
+        line = getattr(at, "lineno", self.node.lineno)
+        col = getattr(at, "col_offset", 0)
+        symbol = f"{self.node.name}.{method}" if method else self.node.name
+        self.findings.append(
+            Finding(
+                rule=rule,
+                path=self.module.path,
+                line=line,
+                col=col,
+                message=message,
+                symbol=symbol,
+                suppressed=self.module.suppressions.is_suppressed(rule, line),
+            )
+        )
+
+    def run(self) -> None:
+        for stmt in self.node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                visitor = _MethodVisitor(self, stmt)
+                visitor.visit_FunctionDef(stmt)
+            elif isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                value = stmt.value
+                if value is not None and _is_mutable_literal(value):
+                    targets = (
+                        stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+                    )
+                    names = ", ".join(
+                        t.id for t in targets if isinstance(t, ast.Name)
+                    ) or "<attribute>"
+                    self.report(
+                        "L2",
+                        value,
+                        f"mutable class-level attribute {names} is shared by "
+                        "every node instance; initialize it in __init__",
+                    )
+
+
+def _analyze_modules(modules: Sequence[_ModuleInfo]) -> List[Finding]:
+    findings: List[Finding] = []
+    for definitions in _subclass_closure(modules).values():
+        for info, node in definitions:
+            _ClassChecker(info, node, findings).run()
+    return sort_findings(findings)
+
+
+def analyze_paths(paths: Iterable[Path]) -> List[Finding]:
+    """Lint every NodeProgram subclass found under ``paths``.
+
+    Returns all findings, including suppressed ones (marked as such);
+    filter with :func:`active_findings` for the pass/fail decision.
+    Unparseable files raise ``SyntaxError`` -- a file the linter cannot
+    read is a build problem, not a lint finding.
+    """
+    modules: List[_ModuleInfo] = []
+    for file in iter_python_files(paths):
+        source = file.read_text()
+        tree = ast.parse(source, filename=str(file))
+        modules.append(_ModuleInfo(str(file), tree, parse_suppressions(source, str(file))))
+    return _analyze_modules(modules)
+
+
+def analyze_source(source: str, path: str = "<string>") -> List[Finding]:
+    """Lint a single in-memory module (test/tooling convenience)."""
+    tree = ast.parse(source, filename=path)
+    info = _ModuleInfo(path, tree, parse_suppressions(source, path))
+    return _analyze_modules([info])
+
+
+def active_findings(findings: Iterable[Finding]) -> List[Finding]:
+    return [f for f in findings if not f.suppressed]

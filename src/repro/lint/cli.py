@@ -1,0 +1,113 @@
+"""``python -m repro.lint`` -- the conformance linter's command line.
+
+Usage::
+
+    python -m repro.lint                      # lint the installed repro package
+    python -m repro.lint src/ tests/myprog.py # lint explicit paths
+    python -m repro.lint --format=json        # machine-readable report
+    python -m repro.lint --select L1,L3       # only some rules
+    python -m repro.lint --list-rules         # print the rule set
+
+Exit status: 0 when no active findings, 1 when violations were found,
+2 on usage/parse errors.  The same entry point backs the ``repro lint``
+subcommand of :mod:`repro.cli`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .analyzer import active_findings, analyze_paths
+from .findings import Finding, format_json, format_text
+from .rules import ALL_RULE_CODES, RULES, normalize_codes
+
+__all__ = ["main", "build_parser", "default_paths", "run_lint"]
+
+
+def default_paths() -> List[Path]:
+    """The repro package directory itself (lint ourselves by default)."""
+    return [Path(__file__).resolve().parent.parent]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description="LOCAL-model conformance linter for NodeProgram classes",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        default="all",
+        help="comma-separated rule codes to enforce (default: all)",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="include findings disabled by repro-lint comments in the report",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule set and exit",
+    )
+    return parser
+
+
+def run_lint(
+    paths: List[Path], select: Optional[str] = None
+) -> List[Finding]:
+    """Analyze ``paths`` and return findings filtered to ``select`` rules."""
+    findings = analyze_paths(paths)
+    if select:
+        keep = normalize_codes(select)
+        findings = [f for f in findings if f.rule in keep]
+    return findings
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for code in sorted(ALL_RULE_CODES):
+            rule = RULES[code]
+            print(f"{code}  {rule.name}: {rule.summary}", file=out)
+        return 0
+
+    paths = [Path(p) for p in args.paths] or default_paths()
+    for path in paths:
+        if not path.exists():
+            print(f"repro.lint: no such path: {path}", file=sys.stderr)
+            return 2
+    try:
+        findings = run_lint(paths, args.select)
+    except (ValueError, SyntaxError) as exc:
+        print(f"repro.lint: {exc}", file=sys.stderr)
+        return 2
+
+    render = format_json if args.format == "json" else format_text
+    try:
+        print(render(findings, show_suppressed=args.show_suppressed), file=out)
+        out.flush()
+    except BrokenPipeError:
+        # downstream consumer (e.g. ``| head``) closed the pipe; the exit
+        # status still reports whether violations were found
+        sys.stderr.close()
+    return 1 if active_findings(findings) else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

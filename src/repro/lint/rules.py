@@ -1,0 +1,121 @@
+"""The LOCAL-model conformance rule set.
+
+Every round/approximation number this repository reports assumes the
+standard LOCAL model contract (Linial; see Section 1 of the paper): a node
+knows initially only its own ID and its neighbors' IDs, learns strictly
+through messages from declared neighbors, and -- for the deterministic
+algorithms the paper analyzes -- computes the same outputs on every run.
+The rules below are the machine-checkable fragment of that contract:
+
+L1  global-state access: a :class:`NodeProgram` references the global graph
+    substrate (``Graph``, ``SyncNetwork``, anything imported from
+    ``repro.graphs``) from inside the class.  A node that can touch the
+    whole graph is not a LOCAL algorithm, whatever its round count says.
+
+L2  shared mutable state: mutable class-level attributes, mutable default
+    arguments, or mutation of module-level mutable globals from inside a
+    program.  All of these alias one object across node instances, i.e.
+    free communication outside the message channel.
+
+L3  nondeterminism: direct use of ``random``/``time``/``os``/``secrets``/
+    ``uuid`` or the salted ``hash()`` builtin inside a program.  Randomized
+    programs must take an explicitly seeded ``random.Random`` through their
+    constructor (the :class:`~repro.baselines.luby.LubyMISProgram` idiom)
+    so the harness controls reproducibility; everything else must be
+    deterministic.  Set-iteration order hazards are only caught at this
+    syntactic level, not through data flow.
+
+L4  out-of-neighborhood read: subscripting or ``.get``-ing ``ctx.inbox``
+    with a key that is not derived from iterating the node's own
+    neighborhood (``self.neighbors`` / ``ctx.neighbors`` / ``ctx.inbox``
+    itself).  Asking for a non-neighbor's message -- even one that answers
+    ``None`` -- encodes knowledge a LOCAL node cannot have.
+
+L5  aliasing/mutation hazard: assigning to ``ctx`` attributes, writing into
+    or clearing ``ctx.inbox``, or calling a mutator method on an object
+    obtained from the inbox.  Messages and contexts must be treated as
+    immutable; mutating them can leak state between rounds or nodes.
+
+Suppression: append ``# repro-lint: disable=L3`` (comma-separate several
+codes, or use ``all``) to the offending line or the line above it; a
+``# repro-lint: disable-file=L3`` comment before the first statement of a
+module suppresses a rule file-wide.  The dynamic counterpart of L4/L5 is
+the sealed-context mode of :class:`~repro.localmodel.network.SyncNetwork`
+(``sealed=True``), which enforces the same contract at runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet
+
+__all__ = ["Rule", "RULES", "ALL_RULE_CODES", "normalize_codes"]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One conformance rule: a stable code plus human-facing prose."""
+
+    code: str
+    name: str
+    summary: str
+
+
+RULES: Dict[str, Rule] = {
+    rule.code: rule
+    for rule in (
+        Rule(
+            "L1",
+            "global-state-access",
+            "node program references global graph state (Graph, SyncNetwork, "
+            "or anything imported from repro.graphs)",
+        ),
+        Rule(
+            "L2",
+            "shared-mutable-state",
+            "mutable class-level attribute, mutable default argument, or "
+            "mutation of a module-level mutable shared between node instances",
+        ),
+        Rule(
+            "L3",
+            "nondeterminism",
+            "direct use of random/time/os/secrets/uuid or hash() inside a "
+            "node program; randomness must arrive as an injected seeded "
+            "random.Random",
+        ),
+        Rule(
+            "L4",
+            "out-of-neighborhood-read",
+            "ctx.inbox is keyed by something not derived from the node's own "
+            "neighborhood",
+        ),
+        Rule(
+            "L5",
+            "context-mutation",
+            "node program mutates ctx, ctx.inbox, or a received message "
+            "(messages must be treated as immutable)",
+        ),
+    )
+}
+
+ALL_RULE_CODES: FrozenSet[str] = frozenset(RULES)
+
+
+def normalize_codes(spec: str) -> FrozenSet[str]:
+    """Parse a comma-separated rule spec (``"L1,L3"``; ``"all"`` = every rule).
+
+    Raises ``ValueError`` on unknown codes so typos in suppression comments
+    and ``--select`` arguments fail loudly instead of silently disabling
+    nothing.
+    """
+    codes = set()
+    for part in spec.split(","):
+        part = part.strip().upper()
+        if not part:
+            continue
+        if part == "ALL":
+            return ALL_RULE_CODES
+        if part not in RULES:
+            raise ValueError(f"unknown repro-lint rule code: {part!r}")
+        codes.add(part)
+    return frozenset(codes)

@@ -1,0 +1,109 @@
+"""Per-line and per-file suppression comments for the conformance linter.
+
+Syntax (anywhere a comment is legal)::
+
+    self.color = hash(self.node)      # repro-lint: disable=L3
+    # repro-lint: disable=L2,L5      <- also covers the line directly below
+    # repro-lint: disable-file=L1    <- before the first statement: whole file
+
+Comments are located with :mod:`tokenize`, so the markers are never
+confused with string literals that merely look like comments.  Unknown
+rule codes raise immediately (a typo'd suppression that silently disables
+nothing is worse than a failing lint run).
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, FrozenSet, Set
+
+from .rules import normalize_codes
+
+__all__ = ["Suppressions", "parse_suppressions"]
+
+_MARKER = re.compile(
+    r"#\s*repro-lint:\s*(?P<kind>disable(?:-file)?)\s*=\s*(?P<codes>[A-Za-z0-9,\s]+)"
+)
+
+
+class Suppressions:
+    """Which rule codes are disabled at which lines (or file-wide)."""
+
+    def __init__(
+        self, by_line: Dict[int, FrozenSet[str]], file_wide: FrozenSet[str]
+    ):
+        self._by_line = by_line
+        self._file_wide = file_wide
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        """True when ``rule`` is disabled at ``line``.
+
+        A line-scoped marker covers its own line and, when the comment
+        stands alone, the line below it -- both checks are cheap, so the
+        marker simply covers both.
+        """
+        if rule in self._file_wide:
+            return True
+        for covered in (line, line - 1):
+            if rule in self._by_line.get(covered, frozenset()):
+                return True
+        return False
+
+    @property
+    def file_wide(self) -> FrozenSet[str]:
+        return self._file_wide
+
+
+def parse_suppressions(source: str, path: str = "<string>") -> Suppressions:
+    """Extract every ``repro-lint`` marker from ``source``.
+
+    ``disable-file`` markers only count before the first statement (the
+    leading comment block); later ones raise, because a file-wide disable
+    buried mid-module is unreadable.
+    """
+    by_line: Dict[int, Set[str]] = {}
+    file_wide: Set[str] = set()
+    seen_code = False
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        # Unparseable files are reported by the analyzer proper; no
+        # suppressions can be trusted from them.
+        return Suppressions({}, frozenset())
+    for tok in tokens:
+        if tok.type in (
+            tokenize.COMMENT,
+            tokenize.NL,
+            tokenize.NEWLINE,
+            tokenize.INDENT,
+            tokenize.DEDENT,
+            tokenize.ENCODING,
+            tokenize.ENDMARKER,
+        ):
+            if tok.type != tokenize.COMMENT:
+                continue
+        else:
+            seen_code = True
+            continue
+        match = _MARKER.search(tok.string)
+        if not match:
+            continue
+        try:
+            codes = normalize_codes(match.group("codes"))
+        except ValueError as exc:
+            raise ValueError(f"{path}:{tok.start[0]}: {exc}") from None
+        if match.group("kind") == "disable-file":
+            if seen_code:
+                raise ValueError(
+                    f"{path}:{tok.start[0]}: disable-file markers must appear "
+                    "before the first statement"
+                )
+            file_wide.update(codes)
+        else:
+            by_line.setdefault(tok.start[0], set()).update(codes)
+    return Suppressions(
+        {line: frozenset(codes) for line, codes in by_line.items()},
+        frozenset(file_wide),
+    )

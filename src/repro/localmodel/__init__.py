@@ -11,6 +11,10 @@
 * :mod:`repro.localmodel.rulingset` -- distance-k selections on paths and
   ordered structures, with the round-cost model for the paper's black-box
   subroutines.
+* :mod:`repro.localmodel.sealed` -- sealed execution contexts: runtime
+  enforcement of the LOCAL contract (the dynamic counterpart of the
+  :mod:`repro.lint` static rules), enabled with ``SyncNetwork(...,
+  sealed=True)``.
 """
 
 from .colorreduction import (
@@ -21,8 +25,15 @@ from .colorreduction import (
     three_color_path,
 )
 from .gather import BallGatherProgram, KnownBall, gather_balls
-from .network import NodeContext, NodeProgram, RunStats, SyncNetwork
+from .network import (
+    NodeContext,
+    NodeProgram,
+    RunStats,
+    SealedNodeContext,
+    SyncNetwork,
+)
 from .rounds import NodeClocks, RoundLedger
+from .sealed import FrozenMessageDict, SealedContextError, SealedInbox, freeze
 from .rulingset import (
     charged_rounds_distance_k,
     greedy_distance_k_selection,
@@ -42,9 +53,14 @@ __all__ = [
     "NodeContext",
     "NodeProgram",
     "RunStats",
+    "SealedNodeContext",
     "SyncNetwork",
     "NodeClocks",
     "RoundLedger",
+    "FrozenMessageDict",
+    "SealedContextError",
+    "SealedInbox",
+    "freeze",
     "charged_rounds_distance_k",
     "greedy_distance_k_selection",
     "log_star",

@@ -89,7 +89,10 @@ class BallGatherProgram(NodeProgram):
 
 
 def gather_balls(
-    graph: Graph, radius: int, states: Optional[Dict[Vertex, Any]] = None
+    graph: Graph,
+    radius: int,
+    states: Optional[Dict[Vertex, Any]] = None,
+    sealed: bool = False,
 ) -> Tuple[Dict[Vertex, KnownBall], int]:
     """Run the flooding protocol; returns per-node balls and rounds used."""
     if radius < 0:
@@ -98,6 +101,7 @@ def gather_balls(
     net = SyncNetwork(
         graph,
         lambda v, nbrs: BallGatherProgram(v, nbrs, radius, state_of.get(v)),
+        sealed=sealed,
     )
     outputs = net.run(max_rounds=radius + 2)
     return outputs, net.stats.rounds

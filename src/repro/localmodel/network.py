@@ -21,8 +21,15 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Hashable, List, Mapping, Optional, Set
 
 from ..graphs.adjacency import Graph, Vertex
+from .sealed import SealedContextError, SealedInbox, freeze
 
-__all__ = ["NodeProgram", "NodeContext", "SyncNetwork", "RunStats"]
+__all__ = [
+    "NodeProgram",
+    "NodeContext",
+    "SealedNodeContext",
+    "SyncNetwork",
+    "RunStats",
+]
 
 
 @dataclass
@@ -38,7 +45,30 @@ class NodeContext:
     node: Vertex
     neighbors: List[Vertex]
     round_number: int
-    inbox: Dict[Vertex, Any]
+    inbox: Mapping[Vertex, Any]
+
+
+class SealedNodeContext(NodeContext):
+    """A :class:`NodeContext` whose attributes cannot be reassigned.
+
+    Used by sealed execution (``SyncNetwork(..., sealed=True)``): together
+    with :class:`~repro.localmodel.sealed.SealedInbox` it turns the context
+    into a read-only view, so any program mutating its context (lint rule
+    L5) fails at the offending statement instead of silently corrupting
+    the round's state.
+    """
+
+    def __init__(self, node, neighbors, round_number, inbox):
+        super().__init__(node, neighbors, round_number, inbox)
+        object.__setattr__(self, "_sealed", True)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        if getattr(self, "_sealed", False):
+            raise SealedContextError(
+                f"node {self.node!r} assigned to ctx.{name}; contexts are "
+                "read-only under sealed execution"
+            )
+        super().__setattr__(name, value)
 
 
 class NodeProgram:
@@ -80,14 +110,24 @@ class RunStats:
 
 
 class SyncNetwork:
-    """Runs one :class:`NodeProgram` per node of a graph, synchronously."""
+    """Runs one :class:`NodeProgram` per node of a graph, synchronously.
+
+    With ``sealed=True`` every delivered message is deep-frozen and every
+    context is read-only (see :mod:`repro.localmodel.sealed`): a program
+    peeking beyond its neighborhood or mutating delivered state raises
+    :class:`~repro.localmodel.sealed.SealedContextError` at the offending
+    statement.  Sealing is behavior-preserving for conforming programs, so
+    it is safe (just slightly slower) to leave on in tests.
+    """
 
     def __init__(
         self,
         graph: Graph,
         program_factory: Callable[[Vertex, List[Vertex]], NodeProgram],
+        sealed: bool = False,
     ):
         self.graph = graph
+        self.sealed = sealed
         self.programs: Dict[Vertex, NodeProgram] = {
             v: program_factory(v, sorted(graph.neighbors(v))) for v in graph.vertices()
         }
@@ -110,19 +150,31 @@ class SyncNetwork:
             f"{sum(1 for p in self.programs.values() if not p.done)} nodes still running"
         )
 
+    def _make_context(self, v: Vertex, program: NodeProgram) -> NodeContext:
+        # ctx.neighbors is always a fresh list: handing out the program's
+        # own list would let a program corrupt its neighbor set by mutating
+        # the context (an aliasing hazard lint rule L5 exists to prevent).
+        if self.sealed:
+            return SealedNodeContext(
+                node=v,
+                neighbors=list(program.neighbors),
+                round_number=self.stats.rounds,
+                inbox=SealedInbox(v, frozenset(program.neighbors), self._pending[v]),
+            )
+        return NodeContext(
+            node=v,
+            neighbors=list(program.neighbors),
+            round_number=self.stats.rounds,
+            inbox=self._pending[v],
+        )
+
     def step_round(self) -> None:
         """Advance the whole network by one synchronous round."""
         outboxes: Dict[Vertex, Mapping[Vertex, Any]] = {}
         for v, program in self.programs.items():
             if program.done:
                 continue
-            ctx = NodeContext(
-                node=v,
-                neighbors=program.neighbors,
-                round_number=self.stats.rounds,
-                inbox=self._pending[v],
-            )
-            outboxes[v] = program.step(ctx) or {}
+            outboxes[v] = program.step(self._make_context(v, program)) or {}
         message_count = 0
         new_pending: Dict[Vertex, Dict[Vertex, Any]] = {v: {} for v in self.programs}
         for sender, outbox in outboxes.items():
@@ -131,7 +183,7 @@ class SyncNetwork:
                     raise ValueError(
                         f"node {sender!r} tried to message non-neighbor {receiver!r}"
                     )
-                new_pending[receiver][sender] = message
+                new_pending[receiver][sender] = freeze(message) if self.sealed else message
                 message_count += 1
         self._pending = new_pending
         self.stats.record_round(message_count)

@@ -56,11 +56,13 @@ class BFSLayerProgram(NodeProgram):
         return {}
 
 
-def bfs_layers(graph: Graph, root: Vertex, budget: Optional[int] = None) -> Dict[Vertex, Optional[int]]:
+def bfs_layers(
+    graph: Graph, root: Vertex, budget: Optional[int] = None, sealed: bool = False
+) -> Dict[Vertex, Optional[int]]:
     """Distances from ``root`` computed by message passing."""
     budget = budget if budget is not None else len(graph) + 1
     net = SyncNetwork(
-        graph, lambda v, nbrs: BFSLayerProgram(v, nbrs, root, budget)
+        graph, lambda v, nbrs: BFSLayerProgram(v, nbrs, root, budget), sealed=sealed
     )
     return net.run(max_rounds=budget + 2)
 
@@ -88,10 +90,14 @@ class LeaderElectionProgram(NodeProgram):
         return {}
 
 
-def elect_leader(graph: Graph, budget: Optional[int] = None) -> Dict[Vertex, Vertex]:
+def elect_leader(
+    graph: Graph, budget: Optional[int] = None, sealed: bool = False
+) -> Dict[Vertex, Vertex]:
     """Every node's view of the leader after ``budget`` rounds."""
     budget = budget if budget is not None else len(graph) + 1
-    net = SyncNetwork(graph, lambda v, nbrs: LeaderElectionProgram(v, nbrs, budget))
+    net = SyncNetwork(
+        graph, lambda v, nbrs: LeaderElectionProgram(v, nbrs, budget), sealed=sealed
+    )
     return net.run(max_rounds=budget + 2)
 
 
@@ -128,10 +134,12 @@ class EchoCountProgram(NodeProgram):
         return {}
 
 
-def tree_count(tree: Graph, root: Vertex) -> int:
+def tree_count(tree: Graph, root: Vertex, sealed: bool = False) -> int:
     """The number of tree nodes, learned by the root via convergecast."""
     if len(tree) == 1:
         return 1
-    net = SyncNetwork(tree, lambda v, nbrs: EchoCountProgram(v, nbrs, root))
+    net = SyncNetwork(
+        tree, lambda v, nbrs: EchoCountProgram(v, nbrs, root), sealed=sealed
+    )
     outputs = net.run(max_rounds=4 * len(tree) + 8)
     return outputs[root]

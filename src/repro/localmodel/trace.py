@@ -52,8 +52,9 @@ class TracedNetwork:
         self,
         graph: Graph,
         program_factory: Callable[[Vertex, List[Vertex]], NodeProgram],
+        sealed: bool = False,
     ):
-        self.network = SyncNetwork(graph, program_factory)
+        self.network = SyncNetwork(graph, program_factory, sealed=sealed)
         self.rounds: List[RoundTrace] = []
 
     def run(self, max_rounds: int = 10_000) -> Dict[Vertex, Any]:

@@ -1,0 +1,103 @@
+"""Deliberately nonconforming node programs -- the linter's crash-test dummies.
+
+Every class here violates exactly one of the L1-L5 conformance rules (see
+:mod:`repro.lint.rules`).  The static analyzer must flag each violation
+with its file and line; the runtime-detectable ones (L4/L5) must also blow
+up under sealed execution (``SyncNetwork(..., sealed=True)``) while running
+to completion -- silently producing invalid science -- without it.  Keep
+this file OUT of ``src/``: the package-wide lint run must stay clean.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Mapping
+
+from repro.graphs.adjacency import Graph, Vertex
+from repro.localmodel.network import NodeContext, NodeProgram
+
+
+class GlobalPeekProgram(NodeProgram):
+    """L1: touches the global graph substrate from inside a node."""
+
+    def step(self, ctx: NodeContext) -> Mapping[Vertex, object]:
+        shadow = Graph(vertices=[self.node])  # builds global state in-node
+        self.done = True
+        self.output = len(shadow)
+        return {}
+
+
+class SharedScratchProgram(NodeProgram):
+    """L2: class-level mutable + mutable default = covert shared channel."""
+
+    scratch: List[Vertex] = []
+
+    def remember(self, seen=[]):
+        seen.append(self.node)
+        return seen
+
+    def step(self, ctx: NodeContext) -> Mapping[Vertex, object]:
+        SharedScratchProgram.scratch.append(self.node)
+        self.done = True
+        self.output = len(self.scratch) + len(self.remember())
+        return {}
+
+
+class CoinFlipProgram(NodeProgram):
+    """L3: unseeded module-level randomness in a supposedly LOCAL node."""
+
+    def step(self, ctx: NodeContext) -> Mapping[Vertex, object]:
+        self.done = True
+        self.output = random.random()
+        return {}
+
+
+class NosyProgram(NodeProgram):
+    """L4: asks the inbox about a vertex it is not adjacent to."""
+
+    def __init__(self, node: Vertex, neighbors: List[Vertex], victim: Vertex):
+        super().__init__(node, neighbors)
+        self.victim = victim
+
+    def step(self, ctx: NodeContext) -> Mapping[Vertex, object]:
+        if ctx.round_number == 0:
+            return self.broadcast(("hello", self.node))
+        self.done = True
+        self.output = ctx.inbox.get(self.victim)
+        return {}
+
+
+class MessageTamperProgram(NodeProgram):
+    """L5: writes into a message object another node delivered."""
+
+    def step(self, ctx: NodeContext) -> Mapping[Vertex, object]:
+        if ctx.round_number == 0:
+            return self.broadcast({"from": self.node})
+        for sender, message in ctx.inbox.items():
+            message["tampered"] = True
+        self.done = True
+        self.output = sorted(m.get("from") for m in ctx.inbox.values())
+        return {}
+
+
+class InboxTamperProgram(NodeProgram):
+    """L5: clears its inbox mid-step, corrupting the round's state."""
+
+    def step(self, ctx: NodeContext) -> Mapping[Vertex, object]:
+        if ctx.round_number == 0:
+            return self.broadcast(("ping", self.node))
+        received = len(ctx.inbox)
+        ctx.inbox.clear()
+        self.done = True
+        self.output = received
+        return {}
+
+
+class ContextTamperProgram(NodeProgram):
+    """L5: reassigns a field of the (read-only) node context."""
+
+    def step(self, ctx: NodeContext) -> Mapping[Vertex, object]:
+        ctx.round_number = 0
+        self.done = True
+        self.output = ctx.round_number
+        return {}

@@ -1,0 +1,369 @@
+"""Unit tests for the AST analyzer: rule triggers, non-triggers,
+suppressions, and the cross-module subclass closure."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.lint import (
+    Finding,
+    active_findings,
+    analyze_source,
+    format_json,
+    format_text,
+    normalize_codes,
+    parse_suppressions,
+)
+
+
+def lint(source: str):
+    return active_findings(analyze_source(textwrap.dedent(source)))
+
+
+def rules_of(source: str):
+    return sorted({f.rule for f in lint(source)})
+
+
+class TestL1GlobalState:
+    def test_graph_reference_in_step(self):
+        src = """
+            from repro.graphs.adjacency import Graph
+            class P(NodeProgram):
+                def step(self, ctx):
+                    return {u: Graph() for u in self.neighbors}
+        """
+        assert rules_of(src) == ["L1"]
+
+    def test_sync_network_reference(self):
+        src = """
+            from repro.localmodel.network import NodeProgram, SyncNetwork
+            class P(NodeProgram):
+                def step(self, ctx):
+                    self.net = SyncNetwork
+                    return {}
+        """
+        assert rules_of(src) == ["L1"]
+
+    def test_vertex_type_alias_is_not_global_state(self):
+        src = """
+            from repro.graphs.adjacency import Graph, Vertex
+            class P(NodeProgram):
+                def step(self, ctx):
+                    v = Vertex
+                    return {}
+        """
+        assert rules_of(src) == []
+
+    def test_module_level_graph_use_is_fine(self):
+        src = """
+            from repro.graphs.adjacency import Graph
+            class P(NodeProgram):
+                def step(self, ctx):
+                    return {}
+            def harness():
+                return Graph()
+        """
+        assert rules_of(src) == []
+
+
+class TestL2SharedState:
+    def test_module_mutable_mutation(self):
+        src = """
+            CACHE = {}
+            class P(NodeProgram):
+                def step(self, ctx):
+                    CACHE[self.node] = 1
+                    return {}
+        """
+        assert rules_of(src) == ["L2"]
+
+    def test_module_mutable_read_is_fine(self):
+        src = """
+            TABLE = {1: "a"}
+            class P(NodeProgram):
+                def step(self, ctx):
+                    self.output = len(TABLE)
+                    return {}
+        """
+        assert rules_of(src) == []
+
+    def test_global_statement(self):
+        src = """
+            class P(NodeProgram):
+                def step(self, ctx):
+                    global counter
+                    counter = 1
+                    return {}
+        """
+        assert rules_of(src) == ["L2"]
+
+    def test_instance_state_is_fine(self):
+        src = """
+            class P(NodeProgram):
+                def __init__(self, node, neighbors):
+                    super().__init__(node, neighbors)
+                    self.seen = []
+                def step(self, ctx):
+                    self.seen.append(ctx.round_number)
+                    return {}
+        """
+        assert rules_of(src) == []
+
+
+class TestL3Nondeterminism:
+    def test_from_import_randomness(self):
+        src = """
+            from random import randrange
+            class P(NodeProgram):
+                def step(self, ctx):
+                    self.output = randrange(10)
+                    return {}
+        """
+        assert rules_of(src) == ["L3"]
+
+    def test_hash_builtin(self):
+        src = """
+            class P(NodeProgram):
+                def step(self, ctx):
+                    self.output = hash(str(self.node))
+                    return {}
+        """
+        assert rules_of(src) == ["L3"]
+
+    def test_annotation_does_not_trigger(self):
+        src = """
+            import random
+            class P(NodeProgram):
+                def __init__(self, node, neighbors, rng: random.Random):
+                    super().__init__(node, neighbors)
+                    self.rng = rng
+                def step(self, ctx):
+                    self.output = self.rng.random()
+                    return {}
+        """
+        assert rules_of(src) == []
+
+    def test_time_module(self):
+        src = """
+            import time
+            class P(NodeProgram):
+                def step(self, ctx):
+                    self.output = time.monotonic()
+                    return {}
+        """
+        assert rules_of(src) == ["L3"]
+
+
+class TestL4InboxKeys:
+    def test_constant_key(self):
+        src = """
+            class P(NodeProgram):
+                def step(self, ctx):
+                    return {0: ctx.inbox[3]}
+        """
+        assert rules_of(src) == ["L4"]
+
+    def test_membership_probe(self):
+        src = """
+            class P(NodeProgram):
+                def step(self, ctx):
+                    if self.spy in ctx.inbox:
+                        self.output = True
+                    return {}
+        """
+        assert rules_of(src) == ["L4"]
+
+    def test_neighbor_loop_key_is_fine(self):
+        src = """
+            class P(NodeProgram):
+                def step(self, ctx):
+                    total = 0
+                    for u in self.neighbors:
+                        if u in ctx.inbox:
+                            total += ctx.inbox[u]
+                    for v in ctx.inbox:
+                        total += ctx.inbox[v]
+                    return {}
+        """
+        assert rules_of(src) == []
+
+    def test_items_iteration_is_fine(self):
+        src = """
+            class P(NodeProgram):
+                def step(self, ctx):
+                    best = max((m for _, m in ctx.inbox.items()), default=None)
+                    self.output = best
+                    return {}
+        """
+        assert rules_of(src) == []
+
+
+class TestL5Mutation:
+    def test_ctx_attribute_assignment(self):
+        src = """
+            class P(NodeProgram):
+                def step(self, ctx):
+                    ctx.neighbors = []
+                    return {}
+        """
+        assert rules_of(src) == ["L5"]
+
+    def test_inbox_pop(self):
+        src = """
+            class P(NodeProgram):
+                def step(self, ctx):
+                    for u in ctx.inbox.keys():
+                        ctx.inbox.pop(u)
+                    return {}
+        """
+        assert rules_of(src) == ["L5"]
+
+    def test_mutating_received_message(self):
+        src = """
+            class P(NodeProgram):
+                def step(self, ctx):
+                    for u, msg in ctx.inbox.items():
+                        msg.update(stolen=True)
+                    return {}
+        """
+        assert rules_of(src) == ["L5"]
+
+    def test_copied_message_may_be_mutated(self):
+        src = """
+            class P(NodeProgram):
+                def step(self, ctx):
+                    merged = {}
+                    for u, msg in ctx.inbox.items():
+                        mine = dict(msg)
+                        mine.update(seen=True)
+                        merged[u] = mine
+                    return {}
+        """
+        assert rules_of(src) == []
+
+    def test_storing_message_in_own_dict_is_fine(self):
+        # regression: `own[u] = msg` must not taint `own` as a message
+        src = """
+            class P(NodeProgram):
+                def step(self, ctx):
+                    own = {}
+                    for u, msg in ctx.inbox.items():
+                        own[u] = msg
+                    own.clear()
+                    return {}
+        """
+        assert rules_of(src) == []
+
+
+class TestSubclassClosure:
+    def test_indirect_subclass_is_analyzed(self):
+        src = """
+            import random
+            class Base(NodeProgram):
+                def helper(self):
+                    return 1
+            class Leaf(Base):
+                def step(self, ctx):
+                    return {u: random.random() for u in self.neighbors}
+        """
+        findings = lint(src)
+        assert [f.rule for f in findings] == ["L3"]
+        assert findings[0].symbol == "Leaf.step"
+
+    def test_unrelated_class_is_ignored(self):
+        src = """
+            import random
+            class Harness:
+                def step(self, ctx):
+                    return random.random()
+        """
+        assert rules_of(src) == []
+
+
+class TestSuppressions:
+    def test_same_line_disable(self):
+        src = """
+            import random
+            class P(NodeProgram):
+                def step(self, ctx):
+                    self.output = random.random()  # repro-lint: disable=L3
+                    return {}
+        """
+        findings = analyze_source(textwrap.dedent(src))
+        assert active_findings(findings) == []
+        assert [f.rule for f in findings if f.suppressed] == ["L3"]
+
+    def test_previous_line_disable(self):
+        src = """
+            import random
+            class P(NodeProgram):
+                def step(self, ctx):
+                    # repro-lint: disable=L3
+                    self.output = random.random()
+                    return {}
+        """
+        assert lint(src) == []
+
+    def test_disable_does_not_cover_other_rules(self):
+        src = """
+            import random
+            class P(NodeProgram):
+                def step(self, ctx):
+                    ctx.neighbors = []  # repro-lint: disable=L3
+                    return {}
+        """
+        assert rules_of(src) == ["L5"]
+
+    def test_file_wide_disable(self):
+        src = """
+            # repro-lint: disable-file=L3
+            import random
+            class P(NodeProgram):
+                def step(self, ctx):
+                    self.output = random.random()
+                    return {}
+        """
+        assert lint(src) == []
+
+    def test_unknown_code_raises(self):
+        with pytest.raises(ValueError, match="unknown repro-lint rule"):
+            parse_suppressions("x = 1  # repro-lint: disable=L9\n")
+
+    def test_late_disable_file_raises(self):
+        src = "x = 1\n# repro-lint: disable-file=L3\n"
+        with pytest.raises(ValueError, match="before the first statement"):
+            parse_suppressions(src)
+
+    def test_marker_inside_string_is_ignored(self):
+        sup = parse_suppressions('x = "# repro-lint: disable=L1"\n')
+        assert not sup.is_suppressed("L1", 1)
+
+
+class TestReporting:
+    FINDINGS = [
+        Finding("L3", "a.py", 10, 4, "boom", "P.step"),
+        Finding("L1", "a.py", 3, 0, "peek", "P.step", suppressed=True),
+    ]
+
+    def test_text_hides_suppressed_by_default(self):
+        text = format_text(self.FINDINGS)
+        assert "a.py:10:4: L3" in text and "1 finding" in text
+        assert "peek" not in text
+
+    def test_text_can_show_suppressed(self):
+        text = format_text(self.FINDINGS, show_suppressed=True)
+        assert "(suppressed)" in text and "1 finding" in text
+
+    def test_json_summary_counts_active_only(self):
+        report = json.loads(format_json(self.FINDINGS, show_suppressed=True))
+        assert report["summary"] == {"total": 1, "by_rule": {"L3": 1}}
+        assert len(report["findings"]) == 2
+
+    def test_normalize_codes(self):
+        assert normalize_codes("l1, L3") == frozenset({"L1", "L3"})
+        assert normalize_codes("all") == frozenset({"L1", "L2", "L3", "L4", "L5"})
+        with pytest.raises(ValueError):
+            normalize_codes("L7")

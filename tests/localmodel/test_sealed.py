@@ -1,0 +1,201 @@
+"""Sealed execution: freeze semantics, sealed views, and the guarantee
+that sealing is behavior-preserving for every conforming stock program."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.coloring_baselines import distributed_delta_plus_one
+from repro.baselines.luby import luby_mis
+from repro.graphs import Graph, cycle_graph, path_graph, random_chordal_graph, random_tree
+from repro.localmodel import (
+    FrozenMessageDict,
+    LinialPathProgram,
+    NodeProgram,
+    SealedContextError,
+    SealedInbox,
+    SealedNodeContext,
+    SyncNetwork,
+    freeze,
+    gather_balls,
+)
+from repro.localmodel.programs import bfs_layers, elect_leader, tree_count
+from repro.localmodel.trace import TracedNetwork
+
+
+class TestFreeze:
+    def test_freezes_nested_containers(self):
+        frozen = freeze({"a": [1, {2}], "b": {"c": [3]}})
+        assert isinstance(frozen, FrozenMessageDict)
+        assert frozen["a"] == (1, frozenset({2}))
+        assert isinstance(frozen["b"], FrozenMessageDict)
+        assert frozen["b"]["c"] == (3,)
+
+    def test_scalars_pass_through(self):
+        for value in (None, 5, 2.5, "x", True):
+            assert freeze(value) is value
+
+    def test_frozen_dict_reads_like_a_dict(self):
+        frozen = freeze({"x": 1, "y": 2})
+        assert dict(frozen) == {"x": 1, "y": 2}
+        assert frozen == {"x": 1, "y": 2}
+        assert sorted(frozen) == ["x", "y"]
+        assert len(frozen) == 2 and frozen.get("z") is None
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda d: d.__setitem__("x", 9),
+            lambda d: d.__delitem__("x"),
+            lambda d: d.pop("x"),
+            lambda d: d.clear(),
+            lambda d: d.update(x=9),
+            lambda d: d.setdefault("z", 1),
+        ],
+    )
+    def test_frozen_dict_refuses_mutation(self, mutate):
+        with pytest.raises(SealedContextError):
+            mutate(freeze({"x": 1}))
+
+
+class TestSealedInbox:
+    def make(self):
+        return SealedInbox(1, frozenset({0, 2}), {0: "hello"})
+
+    def test_neighbor_access(self):
+        inbox = self.make()
+        assert inbox[0] == "hello"
+        assert inbox.get(2) is None  # neighbor that sent nothing
+        assert 0 in inbox and 2 not in inbox
+        assert list(inbox) == [0] and dict(inbox.items()) == {0: "hello"}
+
+    @pytest.mark.parametrize(
+        "probe",
+        [
+            lambda i: i[7],
+            lambda i: i.get(7),
+            lambda i: 7 in i,
+        ],
+    )
+    def test_non_neighbor_probe_raises(self, probe):
+        with pytest.raises(SealedContextError, match="declared neighbors"):
+            probe(self.make())
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda i: i.__setitem__(0, "x"),
+            lambda i: i.pop(0),
+            lambda i: i.clear(),
+            lambda i: i.update({0: "x"}),
+        ],
+    )
+    def test_mutation_raises(self, mutate):
+        with pytest.raises(SealedContextError, match="read-only"):
+            mutate(self.make())
+
+
+class TestSealedNodeContext:
+    def test_attribute_reassignment_raises(self):
+        ctx = SealedNodeContext(node=1, neighbors=[0], round_number=0, inbox={})
+        with pytest.raises(SealedContextError, match="read-only"):
+            ctx.round_number = 7
+        assert ctx.round_number == 0
+
+
+class NeighborListVandal(NodeProgram):
+    """Empties ctx.neighbors; the engine must not let that corrupt state."""
+
+    def step(self, ctx):
+        ctx.neighbors.clear()
+        self.done = True
+        self.output = len(self.neighbors)
+        return {}
+
+
+class TestEngineAliasing:
+    def test_ctx_neighbors_is_a_defensive_copy(self):
+        # regression: ctx.neighbors used to alias program.neighbors, so a
+        # buggy program could silently destroy its own neighbor list
+        net = SyncNetwork(path_graph(3), NeighborListVandal)
+        outputs = net.run()
+        assert outputs == {0: 1, 1: 2, 2: 1}
+        assert all(p.neighbors for p in net.programs.values())
+
+
+class TestSealingIsBehaviorPreserving:
+    """Acceptance: byte-identical outputs with sealing on vs. off."""
+
+    def test_bfs_layers(self):
+        g = random_chordal_graph(40, seed=3)
+        assert bfs_layers(g, 0) == bfs_layers(g, 0, sealed=True)
+
+    def test_leader_election(self):
+        g = cycle_graph(15)
+        assert elect_leader(g) == elect_leader(g, sealed=True)
+
+    def test_tree_count(self):
+        t = random_tree(30, seed=8)
+        assert tree_count(t, 0) == tree_count(t, 0, sealed=True)
+
+    def test_luby_mis(self):
+        g = random_chordal_graph(35, seed=11)
+        assert luby_mis(g, seed=4) == luby_mis(g, seed=4, sealed=True)
+
+    def test_delta_plus_one_coloring(self):
+        g = random_chordal_graph(30, seed=6)
+        assert distributed_delta_plus_one(g, seed=9) == distributed_delta_plus_one(
+            g, seed=9, sealed=True
+        )
+
+    def test_cole_vishkin_linial(self):
+        ids = [17, 3, 29, 0, 12, 8, 41, 5]
+        g = Graph(vertices=ids, edges=[(a, b) for a, b in zip(ids, ids[1:])])
+        runs = {}
+        for sealed in (False, True):
+            net = SyncNetwork(
+                g, lambda v, nbrs: LinialPathProgram(v, nbrs, 42), sealed=sealed
+            )
+            runs[sealed] = (net.run(), net.stats.rounds, net.stats.messages_sent)
+        assert runs[False] == runs[True]
+
+    def test_ball_gathering(self):
+        g = random_chordal_graph(25, seed=2)
+        plain, rounds_plain = gather_balls(g, 2)
+        sealed, rounds_sealed = gather_balls(g, 2, sealed=True)
+        assert rounds_plain == rounds_sealed
+        for v in plain:
+            assert plain[v].states == sealed[v].states
+            assert plain[v].edges == sealed[v].edges
+
+    def test_traced_network_seals(self):
+        from repro.localmodel.programs import LeaderElectionProgram
+
+        g = path_graph(6)
+        traced = TracedNetwork(
+            g, lambda v, nbrs: LeaderElectionProgram(v, nbrs, len(g)), sealed=True
+        )
+        outputs = traced.run()
+        assert set(outputs.values()) == {0}
+        assert traced.total_messages() > 0
+
+
+class TestDeterminismRegressions:
+    """Audit results for the stock programs: repeat runs are identical."""
+
+    def test_leader_election_repeats_identically(self):
+        g = random_chordal_graph(30, seed=5)
+        assert elect_leader(g) == elect_leader(g)
+
+    def test_luby_with_same_seed_repeats_identically(self):
+        g = random_chordal_graph(30, seed=5)
+        first_set, first_rounds = luby_mis(g, seed=3)
+        second_set, second_rounds = luby_mis(g, seed=3)
+        assert first_set == second_set and first_rounds == second_rounds
+
+    def test_luby_is_seeded_per_node_not_global(self):
+        # different master seeds must be able to produce different runs,
+        # proving the randomness is routed through the injected rng
+        g = path_graph(40)
+        results = {frozenset(luby_mis(g, seed=s)[0]) for s in range(6)}
+        assert len(results) > 1

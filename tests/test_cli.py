@@ -109,3 +109,27 @@ class TestReport:
         code, out = run_cli(["report", "L6"])
         assert code == 0
         assert "Lemma 6" in out
+
+
+class TestLint:
+    def test_package_is_clean_via_cli(self):
+        code, out = run_cli(["lint"])
+        assert code == 0
+        assert "0 findings" in out
+
+    def test_violations_reported_with_locations(self):
+        from tests.lint.conftest import CHEATERS
+
+        code, out = run_cli(["lint", str(CHEATERS)])
+        assert code == 1
+        assert "cheating_programs.py:" in out
+        for rule in ("L1", "L2", "L3", "L4", "L5"):
+            assert rule in out
+
+    def test_json_format(self):
+        from tests.lint.conftest import CHEATERS
+
+        code, out = run_cli(["lint", str(CHEATERS), "--format", "json"])
+        assert code == 1
+        report = json.loads(out)
+        assert report["summary"]["total"] > 0
