@@ -13,3 +13,21 @@ import pytest
 def run_once(benchmark, fn, *args, **kwargs):
     """Time ``fn`` with a single warm run (experiments are deterministic)."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+#: shrunken sweeps shared by the engine benchmarks (seconds, not minutes)
+RUNNER_SMALL_OVERRIDES = {
+    "T3": {"eps_values": (1.0, 0.5), "n": 60, "seeds": (0, 1)},
+    "T9": {"r_values": (4, 8, 16), "n": 800, "trials": 3},
+    "L6": {"ns": (50, 100, 200)},
+}
+
+RUNNER_SMALL_IDS = list(RUNNER_SMALL_OVERRIDES)
+
+
+@pytest.fixture
+def runner_cache(tmp_path):
+    """A fresh, isolated on-disk result cache for one benchmark."""
+    from repro.runner import ResultCache
+
+    return ResultCache(tmp_path / "runner-cache")

@@ -4,99 +4,89 @@ Run as a module::
 
     python -m repro.analysis.report           # all experiments
     python -m repro.analysis.report T4 T9     # a subset by id
+    python -m repro.analysis.report T4 --jobs 4 --cache
 
-Each section corresponds to one entry of DESIGN.md's per-experiment index
-and prints the same rows EXPERIMENTS.md records.
+Since the introduction of :mod:`repro.runner` this module is a thin
+front-end over the experiment registry: each section is planned as
+independent cells, executed (serially here by default — ``repro run``
+exposes the parallel/cached engine in full), and folded back into the
+exact tables EXPERIMENTS.md records.  Unknown experiment ids are an
+error listing the known ids, never a silent skip.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
-from .experiments import (
-    baseline_rows,
-    chordal_mis_rows,
-    interval_mis_rows,
-    lower_bound_rows,
-    mvc_approximation_rows,
-    mvc_rounds_rows,
-    mvc_rounds_vs_epsilon_rows,
-    pruning_rows,
+from ..runner import (
+    ResultCache,
+    UnknownExperimentError,
+    run_cells,
+    run_experiments,
 )
-from .tables import format_table
+from ..runner.registry import REGISTRY
 
 __all__ = ["EXPERIMENTS", "run_report"]
 
 
-def _t3() -> str:
-    rows = mvc_approximation_rows()
-    return format_table(
-        ["family", "eps", "chi", "colors", "worst ratio", "bound 1+eps"], rows
-    )
+def _section_renderer(experiment_id: str) -> Callable[[], str]:
+    def render() -> str:
+        exp = REGISTRY[experiment_id]
+        specs = exp.plan()
+        results, _ = run_cells(specs)
+        return exp.render(specs, [r.value for r in results])
+
+    return render
 
 
-def _t4() -> str:
-    a = format_table(
-        ["n", "layers", "pruning rounds", "total rounds"],
-        mvc_rounds_rows(),
-    )
-    b = format_table(
-        ["eps", "k", "total rounds", "colors"],
-        mvc_rounds_vs_epsilon_rows(),
-    )
-    return a + "\n\n(rounds vs eps at n = 300, random trees)\n\n" + b
-
-
-def _t56() -> str:
-    return format_table(
-        ["eps", "worst alpha/|I|", "bound 1+eps", "rounds"], interval_mis_rows()
-    )
-
-
-def _t78() -> str:
-    return format_table(
-        ["family", "eps", "worst alpha/|I|", "bound 1+eps", "rounds"],
-        chordal_mis_rows(),
-    )
-
-
-def _t9() -> str:
-    return format_table(
-        ["r", "E|I|", "optimum", "density gap", "r x gap"], lower_bound_rows()
-    )
-
-
-def _l6() -> str:
-    return format_table(["n", "layers", "ceil(log2 n) + 1"], pruning_rows())
-
-
-def _b1() -> str:
-    return format_table(
-        ["family", "chi", "greedy colors", "our colors", "alpha", "Luby |I|", "our |I|"],
-        baseline_rows(),
-    )
-
-
+#: id -> (title, zero-argument callable returning the table body).
+#: Kept for backwards compatibility; built straight from the runner registry.
 EXPERIMENTS: Dict[str, Tuple[str, Callable[[], str]]] = {
-    "T3": ("Theorem 3: MVC approximation factor (Algorithm 1)", _t3),
-    "T4": ("Theorem 4: distributed MVC round complexity", _t4),
-    "T5/T6": ("Theorems 5-6: interval MIS (Algorithm 5)", _t56),
-    "T7/T8": ("Theorems 7-8: chordal MIS (Algorithm 6)", _t78),
-    "T9": ("Theorem 9: Omega(1/eps) lower bound shape", _t9),
-    "L6": ("Lemma 6: peeling layer count vs log n", _l6),
-    "B1": ("Baselines: maximal-IS / greedy coloring gaps", _b1),
+    experiment_id: (exp.title, _section_renderer(experiment_id))
+    for experiment_id, exp in REGISTRY.items()
 }
 
 
-def run_report(ids: List[str]) -> str:
-    chunks = []
-    for key, (title, fn) in EXPERIMENTS.items():
-        if ids and key not in ids:
-            continue
-        chunks.append(f"== {key}: {title} ==\n\n{fn()}\n")
-    return "\n".join(chunks)
+def run_report(
+    ids: List[str],
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+) -> str:
+    """The report text for ``ids`` (all experiments when empty).
+
+    Raises :class:`repro.runner.UnknownExperimentError` for ids missing
+    from the registry.
+    """
+    report, _, _ = run_experiments(list(ids), jobs=jobs, cache=cache)
+    return report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.report",
+        description="regenerate the EXPERIMENTS.md tables",
+    )
+    parser.add_argument("ids", nargs="*", help="experiment ids (default: all)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (default: 1, serial)")
+    parser.add_argument("--cache", action="store_true",
+                        help="reuse cached cell results (see 'repro run')")
+    args = parser.parse_args(argv)
+    try:
+        report, _, stats = run_experiments(
+            args.ids, jobs=args.jobs, use_cache=args.cache
+        )
+    except UnknownExperimentError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report)
+    if stats.failed or stats.timeouts:
+        print(f"warning: {stats.summary_line()}", file=sys.stderr)
+        return 1
+    return 0
 
 
 if __name__ == "__main__":
-    print(run_report(sys.argv[1:]))
+    raise SystemExit(main())

@@ -6,7 +6,10 @@ Commands:
 * ``color GRAPH``      -- run Algorithm 1/2, print or save the coloring
 * ``mis GRAPH``        -- run Algorithm 6, print or save the set
 * ``generate FAMILY``  -- write a seeded random instance as an edge list
-* ``report [IDS...]``  -- regenerate the EXPERIMENTS.md tables
+* ``report [IDS...]``  -- regenerate the EXPERIMENTS.md tables (serial)
+* ``run``              -- the parallel cached experiment engine
+  (``--list``, ``--ids``, ``--jobs``, ``--no-cache``, ``--clean-cache``,
+  ``--bench``; see :mod:`repro.runner` and docs/runner.md)
 * ``lint [PATHS...]``  -- LOCAL-model conformance linter (see ``repro.lint``)
 
 ``GRAPH`` is an edge-list file (see :mod:`repro.graphs.io`); ``-`` reads
@@ -87,8 +90,32 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--output", help="file to write (default stdout)")
 
     rep = sub.add_parser("report", help="regenerate experiment tables")
-    rep.add_argument("ids", nargs="*", choices=[[], *sorted(EXPERIMENTS)][1:] or None,
-                     help="experiment ids (default: all)")
+    rep.add_argument("ids", nargs="*",
+                     help="experiment ids (default: all; aliases like T5 ok)")
+
+    run = sub.add_parser(
+        "run", help="parallel cached experiment engine (see docs/runner.md)"
+    )
+    run.add_argument("--ids", nargs="*", default=[], metavar="ID",
+                     help="experiment ids (default: all registered)")
+    run.add_argument("--jobs", type=int, default=None,
+                     help="worker processes (default: CPU count; 1 = in-process)")
+    run.add_argument("--no-cache", action="store_true",
+                     help="ignore and do not write the result cache")
+    run.add_argument("--cache-dir",
+                     help="cache directory (default: $REPRO_CACHE or .repro-cache)")
+    run.add_argument("--clean-cache", action="store_true",
+                     help="remove every cached cell result and exit")
+    run.add_argument("--list", action="store_true", dest="list_experiments",
+                     help="list registered experiments and exit")
+    run.add_argument("--timeout", type=float, default=600.0,
+                     help="per-cell wall-clock budget in seconds (default: 600)")
+    run.add_argument("--jsonl", metavar="PATH",
+                     help="write one JSON object per cell to PATH")
+    run.add_argument("--bench", action="store_true",
+                     help="benchmark serial vs parallel vs warm cache")
+    run.add_argument("--bench-output", default="BENCH_runner.json", metavar="PATH",
+                     help="where --bench writes its summary")
 
     lint = sub.add_parser(
         "lint", help="check NodeProgram classes for LOCAL-model conformance"
@@ -123,6 +150,83 @@ def _prepare(graph: Graph, allow_triangulate: bool, out) -> Graph:
         file=out,
     )
     return tri.chordal_graph
+
+
+def _cmd_run(args, out) -> int:
+    """The ``repro run`` front-end over :mod:`repro.runner`.
+
+    Tables go to ``out`` (byte-identical to ``repro report`` for the
+    same ids); progress and cache statistics go to stderr so stdout
+    stays diffable.
+    """
+    import json as _json
+
+    from . import runner
+
+    requested = [part for token in args.ids for part in token.split(",") if part]
+    try:
+        ids = runner.resolve_ids(requested)
+    except runner.UnknownExperimentError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.list_experiments:
+        from .analysis.tables import format_table
+
+        rows = [
+            (eid, len(exp.plan()), ", ".join(exp.deps), exp.title)
+            for eid, exp in runner.REGISTRY.items()
+        ]
+        print(format_table(["id", "cells", "cache deps (roots)", "title"], rows),
+              file=out)
+        return 0
+
+    cache_dir = args.cache_dir
+    if args.clean_cache:
+        cache = runner.ResultCache(cache_dir)
+        removed = cache.clean()
+        print(f"removed {removed} cached cell result(s) from {cache.directory}",
+              file=out)
+        return 0
+
+    if args.bench:
+        summary = runner.run_bench(ids, jobs=args.jobs, timeout=args.timeout)
+        with open(args.bench_output, "w") as handle:
+            _json.dump(summary, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(
+            f"serial {summary['serial']['wall_seconds']:.2f}s  "
+            f"parallel(x{summary['parallel']['jobs']}) "
+            f"{summary['parallel']['wall_seconds']:.2f}s  "
+            f"warm cache {summary['cached_rerun']['wall_seconds']:.2f}s  "
+            f"({summary['cells']} cells, reports identical: "
+            f"{summary['reports_identical']})",
+            file=out,
+        )
+        print(f"bench summary written to {args.bench_output}", file=out)
+        return 0
+
+    import os
+
+    jobs = args.jobs or os.cpu_count() or 1
+    cache = None if args.no_cache else runner.ResultCache(cache_dir)
+    report, results, stats = runner.run_experiments(
+        ids,
+        jobs=jobs,
+        cache=cache,
+        timeout=args.timeout,
+        jsonl=args.jsonl,
+    )
+    print(report, file=out)
+    print(stats.summary_line(), file=sys.stderr)
+    failures = [r for r in results if not r.ok]
+    for res in failures:
+        first_line = (res.error or "").splitlines()[0] if res.error else ""
+        print(
+            f"  {res.status}: {res.experiment} {res.fn}{res.params}: {first_line}",
+            file=sys.stderr,
+        )
+    return 1 if failures else 0
 
 
 def main(argv: Optional[list] = None, out=None) -> int:
@@ -185,8 +289,17 @@ def main(argv: Optional[list] = None, out=None) -> int:
         return 0
 
     if args.command == "report":
-        print(run_report(list(args.ids)), file=out)
+        from .runner import UnknownExperimentError
+
+        try:
+            print(run_report(list(args.ids)), file=out)
+        except UnknownExperimentError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         return 0
+
+    if args.command == "run":
+        return _cmd_run(args, out)
 
     if args.command == "lint":
         from .lint.cli import main as lint_main

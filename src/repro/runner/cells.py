@@ -1,0 +1,302 @@
+"""The cell functions the experiment engine fans out.
+
+A *cell* is the atomic unit of work: one (experiment, family, n, seed,
+ε, …) point of a sweep.  Every function here is
+
+* **top-level** — so a ``ProcessPoolExecutor`` worker can address it by
+  name without pickling code objects;
+* **pure and deterministic** — output depends only on the keyword
+  arguments (all generators are seeded), which is what makes the
+  content-addressed cache sound;
+* **JSON-valued** — payloads survive the disk cache round-trip exactly
+  (binary64 floats round-trip through ``json`` bit-for-bit).
+
+The reduction from cell payloads back to EXPERIMENTS.md rows lives in
+:mod:`repro.runner.registry`; it replicates the fold order of
+:mod:`repro.analysis.experiments` so tables are byte-identical to the
+serial path.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List
+
+from ..analysis.experiments import GRAPH_FAMILIES
+from ..baselines import luby_mis, sequential_greedy_coloring
+from ..coloring import (
+    color_chordal_graph,
+    diameter_rule,
+    distributed_color_chordal,
+    peel_chordal_graph,
+)
+from ..graphs import (
+    clique_number,
+    num_colors,
+    unit_interval_chain,
+)
+from ..lowerbounds import measure_r_round_mis
+from ..mis import chordal_mis, independence_number_chordal, interval_mis
+
+__all__ = [
+    "a1_cell",
+    "a2_cell",
+    "a3_cell",
+    "t3_cell",
+    "t4_rounds_cell",
+    "t4_epsilon_cell",
+    "t56_cell",
+    "t78_cell",
+    "t9_cell",
+    "l6_cell",
+    "b1_cell",
+    "figure_cell",
+    "x1_cell",
+]
+
+
+def _family_graph(family: str, n: int, seed: int):
+    return GRAPH_FAMILIES[family](n, seed)
+
+
+def _sleep_cell(seconds: float) -> Dict[str, Any]:
+    """Test hook: a cell that only burns wall clock.
+
+    The engine's timeout tests address it by name; it is never planned
+    by the registry.
+    """
+    import time
+
+    time.sleep(seconds)
+    return {"slept": seconds}
+
+
+def t3_cell(family: str, eps: float, n: int, seed: int) -> Dict[str, Any]:
+    """T3: one Algorithm 1 run; ratio/chi/colors for the worst-seed fold."""
+    g = _family_graph(family, n, seed)
+    result = color_chordal_graph(g, epsilon=eps)
+    return {
+        "ratio": result.approximation_ratio(),
+        "chi": result.chi,
+        "colors": result.num_colors(),
+    }
+
+
+def t4_rounds_cell(n: int, epsilon: float, family: str, seed: int) -> Dict[str, Any]:
+    """T4 (rounds vs n): one distributed MVC run at fixed ε."""
+    g = _family_graph(family, n, seed)
+    report = distributed_color_chordal(g, epsilon=epsilon)
+    return {
+        "n": n,
+        "layers": report.result.peeling.num_layers(),
+        "pruning_rounds": report.pruning_rounds,
+        "total_rounds": report.total_rounds,
+    }
+
+
+def t4_epsilon_cell(eps: float, n: int, family: str, seed: int) -> Dict[str, Any]:
+    """T4 (rounds vs ε): one distributed MVC run at fixed n."""
+    g = _family_graph(family, n, seed)
+    report = distributed_color_chordal(g, epsilon=eps)
+    return {
+        "eps": eps,
+        "k": report.result.parameters.k,
+        "total_rounds": report.total_rounds,
+        "colors": report.num_colors(),
+    }
+
+
+def t56_cell(eps: float, n: int, seed: int) -> Dict[str, Any]:
+    """T5/T6: one Algorithm 5 run on a unit-interval chain."""
+    g = unit_interval_chain(n, seed=seed)
+    result = interval_mis(g, eps)
+    alpha = independence_number_chordal(g)
+    return {"ratio": alpha / max(1, result.size()), "rounds": result.rounds}
+
+
+def t78_cell(family: str, eps: float, n: int, seed: int) -> Dict[str, Any]:
+    """T7/T8: one Algorithm 6 run."""
+    g = _family_graph(family, n, seed)
+    result = chordal_mis(g, eps)
+    alpha = independence_number_chordal(g)
+    return {"ratio": alpha / max(1, result.size()), "rounds": result.rounds}
+
+
+def t9_cell(r: int, n: int, trials: int, seed: int) -> Dict[str, Any]:
+    """T9: the r-round MIS experiment on the labeled path."""
+    sample = measure_r_round_mis(n, r, trials=trials, seed=seed)
+    return {
+        "mean_size": sample.mean_size,
+        "optimum": sample.optimum,
+        "density_gap": sample.density_gap,
+    }
+
+
+def l6_cell(n: int, family: str, seed: int) -> Dict[str, Any]:
+    """L6: peeling layer count vs the ⌈log₂ n⌉ + 1 bound."""
+    g = _family_graph(family, n, seed)
+    peeling = peel_chordal_graph(g, internal_rule=diameter_rule(4))
+    return {
+        "layers": peeling.num_layers(),
+        "bound": math.ceil(math.log2(max(2, len(g)))) + 1,
+    }
+
+
+def b1_cell(family: str, n: int, seed: int) -> Dict[str, Any]:
+    """B1: our pipelines vs greedy coloring and Luby on one instance."""
+    g = _family_graph(family, n, seed)
+    return {
+        "chi": clique_number(g),
+        "greedy": num_colors(sequential_greedy_coloring(g)),
+        "ours_colors": color_chordal_graph(g, epsilon=0.5).num_colors(),
+        "alpha": independence_number_chordal(g),
+        "luby": len(luby_mis(g, seed=seed)[0]),
+        "ours_mis": chordal_mis(g, 0.45).size(),
+    }
+
+
+def a1_cell(multiplier: float, n: int, k: int, seed: int) -> Dict[str, Any]:
+    """A1: peeling layers/rounds at one internal-threshold multiplier."""
+    from ..coloring.parameters import ColoringParameters
+
+    params = ColoringParameters.from_k(k)
+    from ..graphs import random_chordal_graph
+
+    g = random_chordal_graph(n, seed=seed, tree_size=n)
+    threshold = max(4, int(params.internal_threshold * multiplier))
+    peeling = peel_chordal_graph(g, internal_rule=diameter_rule(threshold))
+    return {
+        "threshold": threshold,
+        "layers": peeling.num_layers(),
+        "rounds": peeling.num_layers() * params.collect_radius,
+    }
+
+
+def a2_cell(chi: int, k: int) -> Dict[str, Any]:
+    """A2: morph relay-cut budget at one (chi, k) point."""
+    from ..coloring.parameters import ColoringParameters, morph_cut_budget
+
+    params = ColoringParameters.from_k(k)
+    spares = params.minimum_spares(chi)
+    return {
+        "palette": params.palette_size(chi),
+        "spares": spares,
+        "cuts": morph_cut_budget(chi, spares),
+    }
+
+
+def a3_cell(family: str, n: int, seed: int) -> Dict[str, Any]:
+    """A3: what Algorithm 5's domination removal dissolves per family."""
+    from ..graphs import (
+        random_connected_interval_graph,
+        remove_dominated_vertices,
+    )
+
+    families = {
+        "random lengths": lambda s: random_connected_interval_graph(n, seed=s),
+        "unit chain": lambda s: unit_interval_chain(n, seed=s),
+    }
+    g = families[family](seed)
+    h = remove_dominated_vertices(g)
+    comps = h.connected_components()
+    max_diam = max((h.induced_subgraph(c).diameter() for c in comps), default=0)
+    return {
+        "n": len(g),
+        "survivors": len(h),
+        "components": len(comps),
+        "max_diameter": max_diam,
+    }
+
+
+def figure_cell(figure: str) -> List[Dict[str, Any]]:
+    """F1-F6: verify one figure of the worked 23-node example.
+
+    Returns ``[{check, measured, expected}, ...]`` rows; ``measured`` and
+    ``expected`` are stringified so the payload stays JSON-plain.
+    """
+    from ..cliquetree import (
+        build_clique_forest,
+        compute_local_view,
+        nodes_with_subtree_in,
+    )
+    from ..graphs import (
+        FIGURE3_CENTER,
+        FIGURE5_PATH,
+        PAPER_CLIQUES,
+        paper_example_cliques,
+        paper_example_graph,
+    )
+
+    g = paper_example_graph()
+    checks: List[Dict[str, Any]] = []
+
+    def add(check: str, measured: Any, expected: Any) -> None:
+        checks.append(
+            {"check": check, "measured": str(measured), "expected": str(expected)}
+        )
+
+    if figure == "F1":
+        add("nodes", len(g), 23)
+        add("edges", g.num_edges(), 35)
+    elif figure == "F2":
+        forest = build_clique_forest(g)
+        add("maximal cliques", forest.num_cliques(), 15)
+        add(
+            "cliques match Figure 2",
+            set(forest.cliques()) == set(paper_example_cliques()),
+            True,
+        )
+        add("forest edges", len(forest.edges()), 14)
+        add("valid tree decomposition", forest.is_valid_decomposition(g), True)
+    elif figure == "F3/F4":
+        forest = build_clique_forest(g)
+        view = compute_local_view(g, FIGURE3_CENTER, 3)
+        names = {"C1", "C2", "C3", "C5", "C6", "C7", "C8", "C9"}
+        add(
+            "radius-3 view of node 10",
+            set(view.forest.cliques()) == {PAPER_CLIQUES[n] for n in names},
+            True,
+        )
+        global_edges = {frozenset(e) for e in forest.edges()}
+        add(
+            "view edges are global forest edges",
+            {frozenset(e) for e in view.forest.edges()} <= global_edges,
+            True,
+        )
+    elif figure == "F5/F6":
+        forest = build_clique_forest(g)
+        path = [PAPER_CLIQUES[name] for name in FIGURE5_PATH]
+        u = nodes_with_subtree_in(forest, path)
+        add("removed nodes U", sorted(u), sorted({9, 10, 11, 12, 13, 14}))
+        add(
+            "T - P equals forest of G[V - U] (Lemma 3)",
+            forest.without_cliques(path) == build_clique_forest(g.subgraph_without(u)),
+            True,
+        )
+    else:  # pragma: no cover - registry only plans known figures
+        raise ValueError(f"unknown figure {figure!r}")
+    return checks
+
+
+def x1_cell(
+    length: int,
+    n: int,
+    handles: int,
+    seed: int,
+    epsilon: float,
+    exact_chi_guard: int,
+) -> Dict[str, Any]:
+    """X1: one triangulate-then-color detour on an l-chordal instance."""
+    from ..extensions.k_chordal import (
+        chordal_with_handles,
+        longest_induced_cycle,
+        triangulate_and_color,
+    )
+
+    g = chordal_with_handles(n, handles, length, seed=seed)
+    outcome = triangulate_and_color(g, epsilon=epsilon, exact_chi_guard=exact_chi_guard)
+    return {
+        "cycle": longest_induced_cycle(g, cap=length + 6),
+        "fill": outcome.fill_edges,
+        "ratio": outcome.detour_ratio,
+    }

@@ -1,0 +1,247 @@
+"""The parallel cell executor.
+
+Cells are embarrassingly parallel — every (experiment, family, n, seed,
+ε) point is an independent seeded computation — so the engine fans them
+out over a ``ProcessPoolExecutor`` and folds the results back **in plan
+order**, which makes the output independent of completion order (and
+therefore of ``--jobs``).
+
+Failure semantics (see ``docs/runner.md``):
+
+* a cell that **raises** returns a ``failed`` envelope with the
+  exception and traceback tail; the rest of the sweep continues;
+* a cell that **hangs** is bounded by a per-cell wall-clock timeout,
+  enforced *inside* the worker with ``SIGALRM`` so the pool survives and
+  the worker is reusable (pure-Python cells cannot block signal
+  delivery);
+* a **crashed worker** (hard abort) breaks the pool; the engine marks
+  every unfinished cell failed instead of propagating
+  ``BrokenProcessPool``;
+* only ``ok`` cells enter the cache — failures always re-execute.
+
+With ``jobs=1`` the engine runs cells in-process (no pool, no pickling),
+which is also the byte-compat reference path for the tests.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from . import cells as _cells
+from .cache import ResultCache, cell_key
+from .registry import REGISTRY, CellSpec
+from .results import (
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    CellResult,
+    RunStats,
+    collect_stats,
+)
+from .sourcehash import source_hash
+
+__all__ = ["run_cells", "execute_cell", "CellTimeout"]
+
+
+class CellTimeout(Exception):
+    """Raised inside a worker when a cell exceeds its wall-clock budget."""
+
+
+@contextmanager
+def _alarm(seconds: Optional[float]):
+    """Bound a block's wall clock via SIGALRM where that is possible.
+
+    No-ops (the engine then has no hang protection, only crash
+    protection) off the main thread or on platforms without SIGALRM.
+    """
+    usable = (
+        seconds is not None
+        and seconds > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _raise_timeout(signum, frame):
+        raise CellTimeout()
+
+    previous = signal.signal(signal.SIGALRM, _raise_timeout)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def execute_cell(
+    experiment: str,
+    fn_name: str,
+    params: Dict[str, Any],
+    timeout: Optional[float] = None,
+) -> Tuple[str, Any, Optional[str], float]:
+    """Run one cell in the current process, never letting it raise.
+
+    Returns ``(status, value, error, elapsed)`` — the picklable envelope
+    the pool ships back.  This is the top-level worker entry point.
+    """
+    fn = getattr(_cells, fn_name, None)
+    start = time.perf_counter()
+    if fn is None:
+        return STATUS_FAILED, None, f"unknown cell function {fn_name!r}", 0.0
+    try:
+        with _alarm(timeout):
+            value = fn(**params)
+        return STATUS_OK, value, None, time.perf_counter() - start
+    except CellTimeout:
+        elapsed = time.perf_counter() - start
+        return (
+            STATUS_TIMEOUT,
+            None,
+            f"cell exceeded the {timeout:g}s per-cell timeout",
+            elapsed,
+        )
+    except BaseException as exc:  # crash isolation: a cell must not kill a sweep
+        elapsed = time.perf_counter() - start
+        tail = traceback.format_exc(limit=5)
+        return STATUS_FAILED, None, f"{type(exc).__name__}: {exc}\n{tail}", elapsed
+
+
+def _cached_result(
+    spec: CellSpec, cache: Optional[ResultCache], hashes: Dict[str, str]
+) -> Tuple[Optional[str], Optional[CellResult]]:
+    """``(key, hit-or-None)`` for a spec; key is None with caching off."""
+    if cache is None:
+        return None, None
+    key = cell_key(spec.experiment, spec.fn, spec.params, hashes[spec.experiment])
+    hit, value = cache.get(key)
+    if hit:
+        return key, CellResult(
+            experiment=spec.experiment,
+            fn=spec.fn,
+            params=dict(spec.params),
+            status=STATUS_OK,
+            value=value,
+            cached=True,
+        )
+    return key, None
+
+
+def run_cells(
+    specs: List[CellSpec],
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    timeout: Optional[float] = None,
+    on_result: Optional[Callable[[CellResult], None]] = None,
+) -> Tuple[List[CellResult], RunStats]:
+    """Execute every spec; results come back in **plan order**.
+
+    ``on_result`` fires per cell as outcomes settle (progress hooks);
+    ordering of the callbacks follows completion, the returned list does
+    not.
+    """
+    started = time.perf_counter()
+    jobs = max(1, int(jobs))
+    results: List[Optional[CellResult]] = [None] * len(specs)
+    hashes = (
+        {eid: source_hash(REGISTRY[eid].deps) for eid in {s.experiment for s in specs}}
+        if cache is not None
+        else {}
+    )
+
+    pending: List[Tuple[int, str]] = []  # (index, cache key) still to execute
+    for index, spec in enumerate(specs):
+        key, hit = _cached_result(spec, cache, hashes)
+        if hit is not None:
+            results[index] = hit
+            if on_result:
+                on_result(hit)
+        else:
+            pending.append((index, key))
+
+    def settle(index: int, key: Optional[str], envelope) -> None:
+        status, value, error, elapsed = envelope
+        spec = specs[index]
+        result = CellResult(
+            experiment=spec.experiment,
+            fn=spec.fn,
+            params=dict(spec.params),
+            status=status,
+            value=value,
+            error=error,
+            elapsed=elapsed,
+        )
+        results[index] = result
+        if cache is not None and key is not None and status == STATUS_OK:
+            cache.put(key, value, {"experiment": spec.experiment, "fn": spec.fn})
+        if on_result:
+            on_result(result)
+
+    if jobs == 1 or len(pending) <= 1:
+        for index, key in pending:
+            spec = specs[index]
+            settle(index, key, execute_cell(spec.experiment, spec.fn, spec.params, timeout))
+    else:
+        _run_pool(specs, pending, jobs, timeout, settle)
+
+    final = [r for r in results if r is not None]
+    stats = collect_stats(final, jobs=jobs, wall=time.perf_counter() - started)
+    return final, stats
+
+
+def _run_pool(
+    specs: List[CellSpec],
+    pending: List[Tuple[int, Optional[str]]],
+    jobs: int,
+    timeout: Optional[float],
+    settle: Callable[[int, Optional[str], Tuple], None],
+) -> None:
+    # A generous pool-level deadline backstops the in-worker SIGALRM for
+    # the pathological case of a hang the signal cannot interrupt.
+    backstop = None
+    if timeout is not None:
+        waves = -(-len(pending) // jobs)  # ceil
+        backstop = timeout * (waves + 1) + 30.0
+    executor = ProcessPoolExecutor(max_workers=min(jobs, len(pending)))
+    try:
+        futures = {}
+        for index, key in pending:
+            spec = specs[index]
+            fut = executor.submit(
+                execute_cell, spec.experiment, spec.fn, spec.params, timeout
+            )
+            futures[fut] = (index, key)
+        deadline = time.monotonic() + backstop if backstop is not None else None
+        for fut, (index, key) in futures.items():
+            remaining = None
+            if deadline is not None:
+                remaining = max(0.1, deadline - time.monotonic())
+            try:
+                envelope = fut.result(timeout=remaining)
+            except FutureTimeoutError:
+                fut.cancel()
+                envelope = (
+                    STATUS_TIMEOUT,
+                    None,
+                    "cell did not finish before the pool deadline",
+                    remaining or 0.0,
+                )
+            except Exception as exc:  # BrokenProcessPool and friends
+                envelope = (
+                    STATUS_FAILED,
+                    None,
+                    f"worker crashed: {type(exc).__name__}: {exc}",
+                    0.0,
+                )
+            settle(index, key, envelope)
+    finally:
+        executor.shutdown(wait=False, cancel_futures=True)

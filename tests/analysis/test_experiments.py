@@ -84,7 +84,10 @@ class TestAblations:
 
 class TestReport:
     def test_registry_complete(self):
-        assert set(EXPERIMENTS) == {"T3", "T4", "T5/T6", "T7/T8", "T9", "L6", "B1"}
+        assert set(EXPERIMENTS) == {
+            "T3", "T4", "T5/T6", "T7/T8", "T9", "L6", "B1", "F1-F6", "X1",
+            "A1-A3",
+        }
 
     def test_subset_run(self):
         out = run_report(["L6"])

@@ -1,0 +1,82 @@
+"""Scaling-law fits on synthetic data with known ground truth."""
+
+import math
+
+import pytest
+
+from repro.analysis.fitting import linear_fit, power_law_exponent
+
+
+class TestLinearFit:
+    def test_exact_line_recovered(self):
+        xs = [0.0, 1.0, 2.0, 3.0]
+        ys = [5.0 + 2.5 * x for x in xs]
+        slope, intercept = linear_fit(xs, ys)
+        assert slope == pytest.approx(2.5)
+        assert intercept == pytest.approx(5.0)
+
+    def test_negative_slope(self):
+        slope, intercept = linear_fit([1, 2, 3], [3, 1, -1])
+        assert slope == pytest.approx(-2.0)
+        assert intercept == pytest.approx(5.0)
+
+    def test_least_squares_averages_noise(self):
+        # symmetric perturbation around y = x leaves the fit unchanged
+        slope, intercept = linear_fit([1, 2, 3, 4], [1.1, 1.9, 3.1, 3.9])
+        assert slope == pytest.approx(0.98, abs=0.05)
+        assert intercept == pytest.approx(0.0, abs=0.15)
+
+    def test_two_points_define_the_line(self):
+        slope, intercept = linear_fit([1, 3], [10, 20])
+        assert slope == pytest.approx(5.0)
+        assert intercept == pytest.approx(5.0)
+
+    def test_rejects_mismatched_or_short_input(self):
+        with pytest.raises(ValueError):
+            linear_fit([1], [2])
+        with pytest.raises(ValueError):
+            linear_fit([1, 2], [1, 2, 3])
+
+    def test_rejects_degenerate_x(self):
+        with pytest.raises(ValueError):
+            linear_fit([2, 2, 2], [1, 2, 3])
+
+
+class TestPowerLawExponent:
+    @pytest.mark.parametrize("b", [-1.0, -0.5, 1.0, 2.0])
+    def test_recovers_known_exponent(self, b):
+        xs = [2.0, 4.0, 8.0, 16.0, 32.0]
+        ys = [3.7 * x**b for x in xs]
+        assert power_law_exponent(xs, ys) == pytest.approx(b)
+
+    def test_prefactor_does_not_bias_the_exponent(self):
+        xs = [1.0, 10.0, 100.0]
+        for c in (0.01, 1.0, 1e6):
+            assert power_law_exponent(xs, [c * x for x in xs]) == pytest.approx(1.0)
+
+    def test_lower_bound_shape_example(self):
+        # the T9 use-case: density gap ~ 0.7 / r should fit exponent ~ -1
+        rs = [4, 8, 16, 32, 64]
+        gaps = [0.7 / r for r in rs]
+        assert power_law_exponent(rs, gaps) == pytest.approx(-1.0)
+
+    def test_log_star_like_series_fits_flat(self):
+        # near-constant data fits an exponent near zero
+        xs = [10.0, 100.0, 1000.0]
+        ys = [5.0, 5.2, 5.3]
+        assert abs(power_law_exponent(xs, ys)) < 0.05
+
+    def test_rejects_nonpositive_data(self):
+        with pytest.raises(ValueError):
+            power_law_exponent([1, -2], [1, 2])
+        with pytest.raises(ValueError):
+            power_law_exponent([1, 2], [0, 2])
+
+    def test_round_trip_through_log_space(self):
+        xs = [3.0, 9.0, 27.0]
+        ys = [x**1.5 for x in xs]
+        slope, intercept = linear_fit(
+            [math.log(x) for x in xs], [math.log(y) for y in ys]
+        )
+        assert slope == pytest.approx(power_law_exponent(xs, ys))
+        assert intercept == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,76 @@
+"""Table formatting: alignment, float policy, and round-trips."""
+
+import re
+
+from repro.analysis.tables import format_table, format_value
+
+
+def parse_table(text):
+    """Invert ``format_table``: split on the 2-space column gutter."""
+    lines = text.splitlines()
+    headers = re.split(r"\s{2,}", lines[0].strip())
+    rows = [re.split(r"\s{2,}", line.strip()) for line in lines[2:]]
+    return headers, rows
+
+
+class TestFormatValue:
+    def test_ints_and_strings_verbatim(self):
+        assert format_value(42) == "42"
+        assert format_value("k-tree(3)") == "k-tree(3)"
+        assert format_value(None) == "None"
+
+    def test_floats_use_four_significant_digits(self):
+        assert format_value(3.14159) == "3.142"
+        assert format_value(0.6591) == "0.6591"
+        assert format_value(1.0) == "1"
+        assert format_value(1234.5) == "1234"
+
+    def test_bools_render_like_python(self):
+        # bool is not float, so it takes the str() branch
+        assert format_value(True) == "True"
+
+
+class TestFormatTable:
+    def test_round_trip_preserves_every_cell(self):
+        headers = ["family", "eps", "worst ratio"]
+        rows = [("tree", 0.5, 1.0), ("interval", 0.25, 1.196), ("chordal", 1, 2)]
+        parsed_headers, parsed_rows = parse_table(format_table(headers, rows))
+        assert parsed_headers == headers
+        expected = [[format_value(c) for c in row] for row in rows]
+        assert parsed_rows == expected
+
+    def test_columns_are_aligned(self):
+        out = format_table(["a", "bb"], [[1, 2], [333, 44444]])
+        lines = out.splitlines()
+        # the separator line spans each column's width exactly
+        assert lines[1] == "---  -----"
+        # every data line pads to the full column width
+        widths = [len(part) for part in lines[1].split("  ")]
+        for line in lines[2:]:
+            cells = [line[0:widths[0]], line[widths[0] + 2:]]
+            assert len(cells[0]) == widths[0]
+
+    def test_wide_cells_stretch_their_column(self):
+        out = format_table(["h"], [["wider-than-header"]])
+        headers, rows = parse_table(out)
+        assert rows == [["wider-than-header"]]
+        assert out.splitlines()[1] == "-" * len("wider-than-header")
+
+    def test_empty_rows_keep_header_and_rule(self):
+        out = format_table(["x", "y"], [])
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("x")
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_experiments_md_style_table_round_trips(self):
+        # the shape EXPERIMENTS.md actually records (T9)
+        headers = ["r", "E|I|", "optimum", "density gap", "r x gap"]
+        rows = [
+            (4, 1341.0, 2000, 0.1648, 0.6591),
+            (64, 1953.0, 2000, 0.01184, 0.758),
+        ]
+        parsed_headers, parsed_rows = parse_table(format_table(headers, rows))
+        assert parsed_headers == headers
+        assert parsed_rows[0] == ["4", "1341", "2000", "0.1648", "0.6591"]
+        assert parsed_rows[1] == ["64", "1953", "2000", "0.01184", "0.758"]

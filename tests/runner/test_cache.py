@@ -1,0 +1,118 @@
+"""Content-addressed cache and the source-hash closure."""
+
+import json
+from pathlib import Path
+
+from repro.runner.cache import ResultCache, cell_key
+from repro.runner.sourcehash import module_closure, module_file, source_hash
+
+
+class TestCellKey:
+    def test_param_order_does_not_matter(self):
+        a = cell_key("T3", "t3_cell", {"n": 10, "seed": 0}, "abc")
+        b = cell_key("T3", "t3_cell", {"seed": 0, "n": 10}, "abc")
+        assert a == b
+
+    def test_any_component_changes_the_key(self):
+        base = cell_key("T3", "t3_cell", {"n": 10}, "abc")
+        assert cell_key("T4", "t3_cell", {"n": 10}, "abc") != base
+        assert cell_key("T3", "other", {"n": 10}, "abc") != base
+        assert cell_key("T3", "t3_cell", {"n": 11}, "abc") != base
+        assert cell_key("T3", "t3_cell", {"n": 10}, "xyz") != base
+
+
+class TestResultCache:
+    def test_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        key = cell_key("T9", "t9_cell", {"r": 4}, "h")
+        hit, _ = cache.get(key)
+        assert not hit
+        cache.put(key, {"density_gap": 0.25}, {"experiment": "T9"})
+        hit, value = cache.get(key)
+        assert hit and value == {"density_gap": 0.25}
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_floats_survive_exactly(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        ugly = 0.1 + 0.2  # not representable; must round-trip bit-for-bit
+        cache.put("k" * 64, {"x": ugly})
+        _, value = cache.get("k" * 64)
+        assert value["x"] == ugly
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("a" * 64, 1)
+        path = next(Path(tmp_path).glob("*/*.json"))
+        path.write_text("{not json")
+        hit, _ = cache.get("a" * 64)
+        assert not hit
+
+    def test_clean_removes_everything(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        for i in range(3):
+            cache.put(f"{i}" * 64, i)
+        assert cache.size() == 3
+        assert cache.clean() == 3
+        assert cache.size() == 0
+        assert cache.clean() == 0  # idempotent
+
+
+def _write_package(root: Path, files):
+    for name, body in files.items():
+        path = root / name
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(body)
+
+
+class TestSourceHash:
+    def test_module_file_resolution(self):
+        assert module_file("repro").name == "__init__.py"
+        assert module_file("repro.runner.cache").name == "cache.py"
+        assert module_file("repro.graphs").name == "__init__.py"
+        assert module_file("json") is None
+        assert module_file("repro.no_such_module") is None
+
+    def test_closure_follows_intra_package_imports(self, tmp_path):
+        _write_package(tmp_path, {
+            "__init__.py": "",
+            "a.py": "from .b import thing\nimport json\n",
+            "b.py": "from repro.c import other\n",
+            "c.py": "x = 1\n",
+            "d.py": "unrelated = True\n",
+        })
+        closure = module_closure(["repro.a"], root=tmp_path)
+        assert set(closure) == {"repro.a", "repro.b", "repro.c"}
+
+    def test_hash_changes_only_with_relevant_edits(self, tmp_path):
+        files = {
+            "__init__.py": "",
+            "a.py": "from .b import thing\n",
+            "b.py": "thing = 1\n",
+            "d.py": "unrelated = True\n",
+        }
+        _write_package(tmp_path, files)
+        before = source_hash(["repro.a"], root=tmp_path)
+        assert before == source_hash(["repro.a"], root=tmp_path)  # stable
+
+        (tmp_path / "d.py").write_text("unrelated = False\n")
+        assert source_hash(["repro.a"], root=tmp_path) == before
+
+        (tmp_path / "b.py").write_text("thing = 2\n")
+        assert source_hash(["repro.a"], root=tmp_path) != before
+
+    def test_relative_imports_resolve(self, tmp_path):
+        _write_package(tmp_path, {
+            "__init__.py": "",
+            "pkg/__init__.py": "",
+            "pkg/mod.py": "from ..util import helper\n",
+            "util.py": "def helper(): pass\n",
+        })
+        closure = module_closure(["repro.pkg.mod"], root=tmp_path)
+        assert "repro.util" in closure
+
+    def test_real_experiment_deps_have_disjoint_sensitivity(self):
+        # editing the lower-bound module must not invalidate T3's key
+        t3 = module_closure(["repro.coloring"])
+        assert not any(name.startswith("repro.lowerbounds") for name in t3)
+        t9 = module_closure(["repro.lowerbounds"])
+        assert not any(name.startswith("repro.coloring") for name in t9)

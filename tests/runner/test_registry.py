@@ -1,0 +1,78 @@
+"""The experiment registry: ids, aliases, plans, and framing."""
+
+import json
+
+import pytest
+
+from repro.runner import (
+    REGISTRY,
+    UnknownExperimentError,
+    experiment_ids,
+    plan_cells,
+    resolve_ids,
+)
+from repro.runner import cells as cell_functions
+from repro.runner.registry import ALIASES
+
+
+class TestIds:
+    def test_registry_covers_experiments_md(self):
+        assert experiment_ids() == [
+            "T3", "T4", "T5/T6", "T7/T8", "T9", "L6", "B1", "F1-F6", "X1",
+            "A1-A3",
+        ]
+
+    def test_empty_selection_means_everything(self):
+        assert resolve_ids([]) == experiment_ids()
+
+    def test_aliases_resolve_to_canonical(self):
+        assert resolve_ids(["T5"]) == ["T5/T6"]
+        assert resolve_ids(["t7-8"]) == ["T7/T8"]
+        assert resolve_ids(["F3"]) == ["F1-F6"]
+
+    def test_order_is_registry_order_not_request_order(self):
+        assert resolve_ids(["B1", "T3"]) == ["T3", "B1"]
+
+    def test_duplicates_collapse(self):
+        assert resolve_ids(["T5", "T6", "T5/T6"]) == ["T5/T6"]
+
+    def test_unknown_id_raises_with_known_ids(self):
+        with pytest.raises(UnknownExperimentError) as err:
+            resolve_ids(["T4", "BOGUS"])
+        assert "BOGUS" in str(err.value)
+        assert "T5/T6" in str(err.value)
+
+    def test_aliases_point_at_real_experiments(self):
+        for target in ALIASES.values():
+            assert target in REGISTRY
+
+
+class TestPlans:
+    def test_every_cell_fn_exists_and_is_top_level(self):
+        for spec in plan_cells():
+            fn = getattr(cell_functions, spec.fn)
+            assert callable(fn)
+            # addressable by name from a worker process
+            assert getattr(cell_functions, fn.__name__) is fn
+
+    def test_params_are_json_plain(self):
+        for spec in plan_cells():
+            assert json.loads(json.dumps(spec.params)) == spec.params
+
+    def test_cells_grouped_by_experiment_in_plan_order(self):
+        specs = plan_cells(["T3", "L6"])
+        ids = [s.experiment for s in specs]
+        assert ids == ["T3"] * 36 + ["L6"] * 5
+
+    def test_overrides_shrink_a_sweep(self):
+        specs = plan_cells(["T3"], overrides={"T3": {
+            "eps_values": (1.0,), "n": 30, "seeds": (0,)}})
+        assert len(specs) == 4  # one per family
+        assert all(s.params["n"] == 30 for s in specs)
+
+    def test_deps_name_existing_modules(self):
+        from repro.runner.sourcehash import module_file
+
+        for exp in REGISTRY.values():
+            for dep in exp.deps:
+                assert module_file(dep) is not None, dep

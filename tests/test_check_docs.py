@@ -1,0 +1,98 @@
+"""The docs-consistency checker: extractors, failure modes, and the repo itself."""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+_spec = importlib.util.spec_from_file_location(
+    "check_docs", REPO_ROOT / "tools" / "check_docs.py"
+)
+check_docs = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_docs)
+
+
+class TestExtractors:
+    def test_experiments_md_headings(self):
+        text = (
+            "# EXPERIMENTS\n"
+            "## T3 — Theorem 3: stuff\n"
+            "## T5/T6 — Theorems 5-6\n"
+            "## F1–F6 — Figures 1–6 (en dashes)\n"
+            "## Reading the round counts\n"
+            "### T9 — not a section heading\n"
+        )
+        assert check_docs.experiment_ids_in_experiments_md(text) == [
+            "T3", "T5/T6", "F1-F6",
+        ]
+
+    def test_design_md_table_rows_skip_prose_cells(self):
+        text = (
+            "| Id | Paper artifact |\n"
+            "| T4 | Theorem 4 |\n"
+            "| A1–A3 | ablations |\n"
+            "| Graph substrate | not an id |\n"
+            "| S1 | bench-only, allowlisted |\n"
+        )
+        assert check_docs.experiment_ids_in_design_md(text) == ["T4", "A1-A3"]
+
+    def test_bench_only_ids_are_excluded_everywhere(self):
+        text = "## S1 — substrate microbenchmarks\n"
+        assert check_docs.experiment_ids_in_experiments_md(text) == []
+
+    def test_cli_subcommands_match_parser(self):
+        assert check_docs.cli_subcommands() == [
+            "color", "generate", "info", "lint", "mis", "report", "run",
+        ]
+
+    def test_package_inventory(self):
+        packages = check_docs.package_inventory(REPO_ROOT / "src")
+        assert "runner" in packages and "graphs" in packages
+        assert "__pycache__" not in packages
+
+
+class TestCheck:
+    def test_this_repository_is_consistent(self):
+        assert check_docs.check(REPO_ROOT) == []
+
+    @pytest.fixture
+    def broken_root(self, tmp_path):
+        """A synthetic repo root with every class of inconsistency."""
+        (tmp_path / "src" / "repro").mkdir(parents=True)
+        (tmp_path / "EXPERIMENTS.md").write_text(
+            "## T3 — real\n## Z9 — bogus id\n"
+        )
+        (tmp_path / "DESIGN.md").write_text("| T4 | Theorem 4 |\n")
+        (tmp_path / "README.md").write_text("only `python -m repro info` here\n")
+        return tmp_path
+
+    def test_problems_are_itemized(self, broken_root):
+        problems = check_docs.check(broken_root)
+        text = "\n".join(problems)
+        assert "'Z9' is not in the repro.runner registry" in text
+        assert "subcommand 'run' is undocumented" in text
+        assert "docs/architecture.md: file missing" in text
+        assert "docs/runner.md: file missing" in text
+        # the one documented subcommand is not flagged
+        assert "'info' is undocumented" not in text
+
+    def test_empty_extraction_is_itself_a_problem(self, tmp_path):
+        (tmp_path / "src" / "repro").mkdir(parents=True)
+        (tmp_path / "EXPERIMENTS.md").write_text("no headings here\n")
+        problems = check_docs.check(tmp_path)
+        assert any(
+            "EXPERIMENTS.md: found no experiment ids" in p for p in problems
+        )
+        assert any("DESIGN.md: file missing" in p for p in problems)
+
+    def test_main_exit_status(self, capsys):
+        assert check_docs.main(["--root", str(REPO_ROOT)]) == 0
+        assert "consistent" in capsys.readouterr().out
+
+    def test_main_nonzero_on_problems(self, tmp_path, capsys):
+        (tmp_path / "src" / "repro").mkdir(parents=True)
+        assert check_docs.main(["--root", str(tmp_path)]) == 1
+        err = capsys.readouterr().err
+        assert "problem(s)" in err

@@ -110,6 +110,71 @@ class TestReport:
         assert code == 0
         assert "Lemma 6" in out
 
+    def test_unknown_id_exits_nonzero(self, capsys):
+        code, _ = run_cli(["report", "BOGUS"])
+        assert code == 2
+        assert "known ids are" in capsys.readouterr().err
+
+
+class TestRun:
+    def test_list_registered_experiments(self):
+        code, out = run_cli(["run", "--list"])
+        assert code == 0
+        for experiment_id in ("T3", "T4", "T5/T6", "T7/T8", "T9", "L6", "B1",
+                              "F1-F6", "X1"):
+            assert experiment_id in out
+
+    def test_tables_match_the_serial_report(self, tmp_path):
+        code_run, out_run = run_cli(
+            ["run", "--ids", "L6", "--jobs", "1",
+             "--cache-dir", str(tmp_path / "cache")]
+        )
+        code_rep, out_rep = run_cli(["report", "L6"])
+        assert code_run == code_rep == 0
+        assert out_run == out_rep
+
+    def test_second_invocation_hits_the_cache(self, tmp_path, capsys):
+        argv = ["run", "--ids", "L6", "--jobs", "1",
+                "--cache-dir", str(tmp_path / "cache")]
+        run_cli(argv)
+        capsys.readouterr()
+        code, _ = run_cli(argv)
+        assert code == 0
+        assert "5 cached" in capsys.readouterr().err
+
+    def test_no_cache_leaves_no_directory(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        code, _ = run_cli(["run", "--ids", "L6", "--no-cache",
+                           "--cache-dir", str(cache_dir)])
+        assert code == 0
+        assert not cache_dir.exists()
+
+    def test_clean_cache(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        run_cli(["run", "--ids", "L6", "--cache-dir", cache_dir])
+        code, out = run_cli(["run", "--clean-cache", "--cache-dir", cache_dir])
+        assert code == 0
+        assert "removed 5 cached" in out
+
+    def test_jsonl_log(self, tmp_path):
+        log = tmp_path / "cells.jsonl"
+        code, _ = run_cli(["run", "--ids", "L6", "--no-cache",
+                           "--jsonl", str(log)])
+        assert code == 0
+        lines = [json.loads(l) for l in log.read_text().splitlines()]
+        assert len(lines) == 5
+        assert all(l["status"] == "ok" for l in lines)
+
+    def test_unknown_id_exits_nonzero(self, capsys):
+        code, _ = run_cli(["run", "--ids", "NOPE"])
+        assert code == 2
+        assert "known ids are" in capsys.readouterr().err
+
+    def test_alias_ids_accepted(self, tmp_path):
+        code, out = run_cli(["run", "--ids", "F3", "--no-cache"])
+        assert code == 0
+        assert "Figures 1-6" in out
+
 
 class TestLint:
     def test_package_is_clean_via_cli(self):

@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""Docs-consistency checker (stdlib only; runs in CI).
+
+Cross-validates the prose against the code so the reproduction
+instructions can never silently rot:
+
+* every experiment id referenced by ``EXPERIMENTS.md`` (section
+  headings) and ``DESIGN.md`` (the per-experiment index table) must
+  resolve in the ``repro.runner`` registry;
+* every CLI subcommand exposed by ``repro.cli.build_parser()`` must be
+  documented in ``README.md`` (as ``repro <cmd>`` or
+  ``python -m repro <cmd>``);
+* ``docs/architecture.md`` must inventory every top-level ``repro``
+  subpackage, and ``docs/runner.md`` must exist and name every
+  registered experiment id.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_docs.py [--root PATH]
+
+Exit status 0 when consistent, 1 with one line per problem otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+from typing import List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _normalize(raw: str) -> str:
+    """Map typographic dashes to ASCII so F1–F6 matches the registry."""
+    return raw.replace("–", "-").replace("—", "-")
+
+
+def experiment_ids_in_experiments_md(text: str) -> List[str]:
+    """Ids from section headings: ``## T4 — Theorem 4: ...``."""
+    found = []
+    for match in re.finditer(
+        r"^## +([A-Z]\d+(?:[/–-][A-Z]?\d+)*) +[—-] ", text, flags=re.MULTILINE
+    ):
+        raw = _normalize(match.group(1))
+        if raw not in BENCH_ONLY_IDS:
+            found.append(raw)
+    return found
+
+
+#: ids whose reproduction is a pytest-benchmark target only (DESIGN.md's
+#: substrate microbenchmarks) — they have no table to regenerate, so they
+#: are legitimately absent from the runner registry.
+BENCH_ONLY_IDS = {"S1"}
+
+
+def experiment_ids_in_design_md(text: str) -> List[str]:
+    """Ids from the per-experiment index table: ``| T4 | Theorem 4 | ...``.
+
+    An experiment id is letter(s)+digits, optionally ranged or slashed
+    (``F3/F4``, ``A1-A3``) — which is what keeps the subsystem table's
+    prose cells out.
+    """
+    found = []
+    for match in re.finditer(
+        r"^\| +([A-Z]\d+(?:[/–-][A-Z]?\d+)*) +\|", text, flags=re.MULTILINE
+    ):
+        raw = _normalize(match.group(1))
+        if raw not in BENCH_ONLY_IDS:
+            found.append(raw)
+    return found
+
+
+def cli_subcommands() -> List[str]:
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    for action in parser._subparsers._group_actions:  # argparse internals, but stable
+        return sorted(action.choices)
+    return []
+
+
+def package_inventory(src_root: Path) -> List[str]:
+    return sorted(
+        p.parent.name
+        for p in (src_root / "repro").glob("*/__init__.py")
+        if p.parent.name != "__pycache__"
+    )
+
+
+def check(root: Path) -> List[str]:
+    problems: List[str] = []
+
+    sys.path.insert(0, str(root / "src"))
+    from repro.runner import UnknownExperimentError, experiment_ids, resolve_ids
+
+    registered = experiment_ids()
+
+    # 1. experiment ids referenced in the docs resolve in the registry
+    for name, extractor in [
+        ("EXPERIMENTS.md", experiment_ids_in_experiments_md),
+        ("DESIGN.md", experiment_ids_in_design_md),
+    ]:
+        path = root / name
+        if not path.is_file():
+            problems.append(f"{name}: file missing")
+            continue
+        referenced = extractor(path.read_text())
+        if not referenced:
+            problems.append(f"{name}: found no experiment ids to check")
+        for experiment_id in referenced:
+            try:
+                resolve_ids([experiment_id])
+            except UnknownExperimentError:
+                problems.append(
+                    f"{name}: experiment id {experiment_id!r} is not in the "
+                    f"repro.runner registry (known: {', '.join(registered)})"
+                )
+
+    # 2. every CLI subcommand is documented in the README
+    readme_path = root / "README.md"
+    if not readme_path.is_file():
+        problems.append("README.md: file missing")
+    else:
+        readme = readme_path.read_text()
+        for command in cli_subcommands():
+            pattern = rf"(python -m repro|\brepro) +{re.escape(command)}\b"
+            if not re.search(pattern, readme):
+                problems.append(
+                    f"README.md: CLI subcommand {command!r} is undocumented "
+                    f"(expected 'repro {command}' or 'python -m repro {command}')"
+                )
+
+    # 3. docs/ inventory stays complete
+    architecture = root / "docs" / "architecture.md"
+    if not architecture.is_file():
+        problems.append("docs/architecture.md: file missing")
+    else:
+        text = architecture.read_text()
+        for package in package_inventory(root / "src"):
+            if f"repro.{package}" not in text:
+                problems.append(
+                    f"docs/architecture.md: package 'repro.{package}' missing "
+                    "from the layer map"
+                )
+
+    runner_doc = root / "docs" / "runner.md"
+    if not runner_doc.is_file():
+        problems.append("docs/runner.md: file missing")
+    else:
+        text = _normalize(runner_doc.read_text())
+        for experiment_id in registered:
+            if experiment_id not in text:
+                problems.append(
+                    f"docs/runner.md: registered experiment {experiment_id!r} "
+                    "is never mentioned"
+                )
+
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=str(REPO_ROOT),
+                        help="repository root (default: the checkout)")
+    args = parser.parse_args(argv)
+
+    problems = check(Path(args.root))
+    if problems:
+        for problem in problems:
+            print(f"docs-check: {problem}", file=sys.stderr)
+        print(f"docs-check: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    print("docs-check: EXPERIMENTS.md, DESIGN.md, README.md, and docs/ are "
+          "consistent with the code")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
