@@ -53,7 +53,13 @@ class RandomizedColoringProgram(NodeProgram):
     Protocol per phase (two rounds): broadcast ('try', c) with a random
     candidate from the free palette; if no conflicting proposal arrives
     and no decided neighbor owns c, broadcast ('final', c) and stop.
+
+    Acts on silence: an undecided node must re-propose each phase even
+    when every neighbor already finished (their 'final' messages were in
+    earlier rounds), and an isolated vertex colors itself unprompted.
     """
+
+    always_active = True
 
     def __init__(
         self, node: Vertex, neighbors: List[Vertex], palette_size: int, rng: random.Random
@@ -95,7 +101,7 @@ class RandomizedColoringProgram(NodeProgram):
 
 
 def distributed_delta_plus_one(
-    graph: Graph, seed: int = 0, sealed: bool = False
+    graph: Graph, seed: int = 0, sealed: bool = False, scheduler: str = "active"
 ) -> Tuple[Dict[Vertex, Color], int]:
     """Randomized distributed (Delta + 1)-coloring; returns (coloring, rounds)."""
     palette_size = graph.max_degree() + 1
@@ -107,6 +113,7 @@ def distributed_delta_plus_one(
             v, nbrs, palette_size, random.Random(seeds[v])
         ),
         sealed=sealed,
+        scheduler=scheduler,
     )
     outputs = net.run(max_rounds=80 * (len(graph).bit_length() + 2) + 30)
     return outputs, net.stats.rounds

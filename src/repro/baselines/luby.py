@@ -29,7 +29,13 @@ class LubyMISProgram(NodeProgram):
       round A: broadcast ('value', x) with fresh random x;
       round B: broadcast ('in',) upon joining, ('out',) upon being
                dominated; silence means still undecided.
+
+    Acts on silence: an undecided node whose neighbors all stayed quiet
+    (nobody joined nearby) must still re-draw next phase, and an isolated
+    vertex joins without ever receiving a message.
     """
+
+    always_active = True
 
     def __init__(self, node: Vertex, neighbors: List[Vertex], rng: random.Random):
         super().__init__(node, neighbors)
@@ -80,7 +86,7 @@ class LubyMISProgram(NodeProgram):
 
 
 def luby_mis(
-    graph: Graph, seed: int = 0, sealed: bool = False
+    graph: Graph, seed: int = 0, sealed: bool = False, scheduler: str = "active"
 ) -> Tuple[Set[Vertex], int]:
     """Run Luby's MIS; returns (independent set, communication rounds)."""
     master = random.Random(seed)
@@ -89,6 +95,7 @@ def luby_mis(
         graph,
         lambda v, nbrs: LubyMISProgram(v, nbrs, random.Random(seeds[v])),
         sealed=sealed,
+        scheduler=scheduler,
     )
     outputs = net.run(max_rounds=50 * (len(graph).bit_length() + 2) + 20)
     chosen = {v for v, joined in outputs.items() if joined}

@@ -11,6 +11,9 @@ Commands:
   (``--list``, ``--ids``, ``--jobs``, ``--no-cache``, ``--clean-cache``,
   ``--bench``; see :mod:`repro.runner` and docs/runner.md)
 * ``lint [PATHS...]``  -- LOCAL-model conformance linter (see ``repro.lint``)
+* ``trace GRAPH``      -- run a stock message-passing program with trace
+  sinks attached: per-round metrics, an optional ``--timeline``, and
+  ``--jsonl`` export (schema in docs/tracing.md)
 
 ``GRAPH`` is an edge-list file (see :mod:`repro.graphs.io`); ``-`` reads
 stdin.  Non-chordal inputs are rejected unless ``--triangulate`` is given,
@@ -117,6 +120,31 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--bench-output", default="BENCH_runner.json", metavar="PATH",
                      help="where --bench writes its summary")
 
+    trace = sub.add_parser(
+        "trace", help="run a stock program with trace sinks attached"
+    )
+    trace.add_argument("graph")
+    trace.add_argument("--program", choices=sorted(TRACE_PROGRAMS), default="bfs",
+                       help="which stock NodeProgram to run (default: bfs)")
+    trace.add_argument("--root", type=int, default=None,
+                       help="root vertex for bfs/echo (default: smallest id)")
+    trace.add_argument("--radius", type=int, default=2,
+                       help="gathering radius for --program gather")
+    trace.add_argument("--seed", type=int, default=0,
+                       help="seed for the randomized programs (luby, coloring)")
+    trace.add_argument("--scheduler", choices=("active", "dense"),
+                       default="active",
+                       help="node scheduler (default: active; dense = reference)")
+    trace.add_argument("--sealed", action="store_true",
+                       help="run under sealed contexts (runtime LOCAL enforcement)")
+    trace.add_argument("--timeline", action="store_true",
+                       help="print the per-round timeline after the summary")
+    trace.add_argument("--jsonl", metavar="PATH",
+                       help="write one JSON object per round to PATH")
+    trace.add_argument("--no-payloads", action="store_true",
+                       help="omit message payloads from the JSONL trace")
+    trace.add_argument("--max-rounds", type=int, default=10_000)
+
     lint = sub.add_parser(
         "lint", help="check NodeProgram classes for LOCAL-model conformance"
     )
@@ -150,6 +178,136 @@ def _prepare(graph: Graph, allow_triangulate: bool, out) -> Graph:
         file=out,
     )
     return tri.chordal_graph
+
+
+#: The stock programs ``repro trace`` can put on the wire.
+TRACE_PROGRAMS = ("bfs", "leader", "echo", "gather", "luby", "coloring")
+
+
+def _trace_factory(args, graph: Graph):
+    """(program factory, describe(outputs) -> str) for ``repro trace``."""
+    import random as _random
+
+    n = len(graph)
+    root = args.root
+    if root is None:
+        from .localmodel import vertex_key
+
+        root = min(graph.vertices(), key=vertex_key)
+    if args.program == "bfs":
+        from .localmodel import BFSLayerProgram
+
+        budget = n + 1
+        factory = lambda v, nbrs: BFSLayerProgram(v, nbrs, root, budget)
+        describe = lambda outputs: (
+            f"bfs from {root}: eccentricity "
+            f"{max((d for d in outputs.values() if d is not None), default=0)}"
+        )
+    elif args.program == "leader":
+        from .localmodel import LeaderElectionProgram
+
+        budget = n + 1
+        factory = lambda v, nbrs: LeaderElectionProgram(v, nbrs, budget)
+        describe = lambda outputs: f"leader: {min(outputs.values(), default=None)}"
+    elif args.program == "echo":
+        from .localmodel import EchoCountProgram
+
+        factory = lambda v, nbrs: EchoCountProgram(v, nbrs, root)
+        describe = lambda outputs: f"echo count at root {root}: {outputs[root]}"
+    elif args.program == "gather":
+        from .localmodel import BallGatherProgram
+
+        factory = lambda v, nbrs: BallGatherProgram(v, nbrs, args.radius, None)
+        describe = lambda outputs: (
+            f"gathered radius-{args.radius} balls; largest has "
+            f"{max(len(ball.states) for ball in outputs.values())} vertices"
+        )
+    elif args.program == "luby":
+        from .baselines.luby import LubyMISProgram
+
+        master = _random.Random(args.seed)
+        seeds = {v: master.randrange(2**62) for v in graph.vertices()}
+        factory = lambda v, nbrs: LubyMISProgram(v, nbrs, _random.Random(seeds[v]))
+        describe = lambda outputs: (
+            f"luby MIS size: {sum(1 for joined in outputs.values() if joined)}"
+        )
+    else:  # coloring
+        from .baselines.coloring_baselines import RandomizedColoringProgram
+
+        palette = graph.max_degree() + 1
+        master = _random.Random(args.seed)
+        seeds = {v: master.randrange(2**62) for v in graph.vertices()}
+        factory = lambda v, nbrs: RandomizedColoringProgram(
+            v, nbrs, palette, _random.Random(seeds[v])
+        )
+        describe = lambda outputs: (
+            f"(Delta+1)-coloring used {len(set(outputs.values()))} colors "
+            f"(palette {palette})"
+        )
+    return factory, describe
+
+
+def _cmd_trace(args, out) -> int:
+    """The ``repro trace`` front-end over the trace sinks."""
+    from .localmodel import JSONLTraceSink, MetricsSink, TracedNetwork
+
+    graph = _read_graph(args.graph)
+    if len(graph) == 0:
+        print("graph is empty; nothing to trace", file=out)
+        return 0
+    factory, describe = _trace_factory(args, graph)
+
+    metrics = MetricsSink()
+    sinks = [metrics]
+    jsonl_sink = None
+    if args.jsonl:
+        jsonl_sink = JSONLTraceSink(args.jsonl, payloads=not args.no_payloads)
+        sinks.append(jsonl_sink)
+    traced = TracedNetwork(
+        graph,
+        factory,
+        sealed=args.sealed,
+        scheduler=args.scheduler,
+        sinks=sinks,
+    )
+    try:
+        outputs = traced.run(max_rounds=args.max_rounds)
+    except RuntimeError as exc:
+        # starvation / round-budget exhaustion: e.g. --program echo on a
+        # non-tree graph, where the convergecast can never complete
+        raise SystemExit(
+            f"trace aborted after {traced.network.stats.rounds} round(s): {exc}"
+        )
+    finally:
+        if jsonl_sink is not None:
+            jsonl_sink.close()
+
+    summary = metrics.summary()
+    print(
+        f"{args.program} on {len(graph)} vertices "
+        f"({args.scheduler} scheduler{', sealed' if args.sealed else ''})",
+        file=out,
+    )
+    print(
+        f"rounds: {summary['rounds']}  messages: {summary['messages']}  "
+        f"max/round: {summary['max_messages_per_round']}",
+        file=out,
+    )
+    print(
+        f"node steps: {summary['total_steps']}  "
+        f"max active: {summary['max_active']}  "
+        f"quiet rounds: {summary['quiet_rounds']}",
+        file=out,
+    )
+    print(describe(outputs), file=out)
+    if jsonl_sink is not None:
+        print(
+            f"trace written to {args.jsonl} ({jsonl_sink.rounds_written} rounds)",
+            file=out,
+        )
+    if args.timeline:
+        print(traced.timeline(), file=out)
+    return 0
 
 
 def _cmd_run(args, out) -> int:
@@ -201,6 +359,14 @@ def _cmd_run(args, out) -> int:
             f"warm cache {summary['cached_rerun']['wall_seconds']:.2f}s  "
             f"({summary['cells']} cells, reports identical: "
             f"{summary['reports_identical']})",
+            file=out,
+        )
+        quiet = summary["scheduler"]["quiet_convergecast"]
+        print(
+            f"scheduler: active {quiet['active_seconds']:.3f}s vs dense "
+            f"{quiet['dense_seconds']:.3f}s on {quiet['workload']} "
+            f"({quiet['speedup_active_over_dense']:.0f}x, outputs identical: "
+            f"{quiet['outputs_identical']})",
             file=out,
         )
         print(f"bench summary written to {args.bench_output}", file=out)
@@ -300,6 +466,9 @@ def main(argv: Optional[list] = None, out=None) -> int:
 
     if args.command == "run":
         return _cmd_run(args, out)
+
+    if args.command == "trace":
+        return _cmd_trace(args, out)
 
     if args.command == "lint":
         from .lint.cli import main as lint_main

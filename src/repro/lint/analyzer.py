@@ -9,7 +9,12 @@ resolves the transitive subclass closure of :class:`NodeProgram` *by name
 across all scanned modules* -- so a program inheriting from an intermediate
 helper class is still analyzed -- and walks each such class with
 :class:`_MethodVisitor`, emitting :class:`~repro.lint.findings.Finding`
-objects for rules L1-L5.
+objects for rules L1-L6.  Rule L6 (starvation hazard) is class-shaped
+rather than expression-shaped: a subclass with a non-trivial ``step`` must
+either declare ``always_active`` (inherited declarations count), call
+``self.wake_next_round()``, or unconditionally finish on its first step
+(a top-level ``self.done = True``), otherwise the active-set scheduler of
+:class:`~repro.localmodel.network.SyncNetwork` could skip it forever.
 
 Name-based resolution is deliberate: the linter must work on files that
 cannot be imported (fixtures with deliberate violations, future node code
@@ -499,13 +504,85 @@ class _MethodVisitor(ast.NodeVisitor):
     # statements carry no annotations.
 
 
-class _ClassChecker:
-    """Applies rules L1-L5 to one NodeProgram subclass definition."""
+def _declares_always_active(node: ast.ClassDef) -> bool:
+    """Does the class body assign ``always_active`` (either value)?"""
+    for stmt in node.body:
+        if isinstance(stmt, ast.Assign):
+            if any(isinstance(t, ast.Name) and t.id == "always_active" for t in stmt.targets):
+                return True
+        elif isinstance(stmt, ast.AnnAssign):
+            if isinstance(stmt.target, ast.Name) and stmt.target.id == "always_active":
+                return True
+    return False
 
-    def __init__(self, module: _ModuleInfo, node: ast.ClassDef, findings: List[Finding]):
+
+def _sets_done_unconditionally(step: ast.FunctionDef) -> bool:
+    """Does ``step`` assign ``self.done = True`` at the top level of its body?
+
+    Such a program finishes on its very first step; since round 0
+    schedules every node, it can never be starved by the active-set
+    scheduler, whatever its inbox handling looks like.
+    """
+    for stmt in step.body:
+        if isinstance(stmt, ast.Assign) and isinstance(stmt.value, ast.Constant):
+            if stmt.value.value is True:
+                for target in stmt.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and target.attr == "done"
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        return True
+    return False
+
+
+def _calls_wake_next_round(step: ast.FunctionDef) -> bool:
+    for node in ast.walk(step):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "wake_next_round"
+        ):
+            return True
+    return False
+
+
+def _step_is_trivial(step: ast.FunctionDef) -> bool:
+    """A ``step`` that only returns an empty mapping cannot act on silence."""
+    body = step.body
+    if body and isinstance(body[0], ast.Expr) and isinstance(body[0].value, ast.Constant):
+        body = body[1:]  # docstring
+    if len(body) != 1 or not isinstance(body[0], ast.Return):
+        return False
+    value = body[0].value
+    if value is None:
+        return True
+    if isinstance(value, ast.Dict) and not value.keys:
+        return True
+    return (
+        isinstance(value, ast.Call)
+        and isinstance(value.func, ast.Name)
+        and value.func.id == "dict"
+        and not value.args
+        and not value.keywords
+    )
+
+
+class _ClassChecker:
+    """Applies rules L1-L6 to one NodeProgram subclass definition."""
+
+    def __init__(
+        self,
+        module: _ModuleInfo,
+        node: ast.ClassDef,
+        findings: List[Finding],
+        inherits_always_active: bool = False,
+    ):
         self.module = module
         self.node = node
         self.findings = findings
+        self.inherits_always_active = inherits_always_active
 
     def report(self, rule: str, at: ast.AST, message: str, method: str = "") -> None:
         line = getattr(at, "lineno", self.node.lineno)
@@ -524,8 +601,11 @@ class _ClassChecker:
         )
 
     def run(self) -> None:
+        step: Optional[ast.FunctionDef] = None
         for stmt in self.node.body:
             if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if isinstance(stmt, ast.FunctionDef) and stmt.name == "step":
+                    step = stmt
                 visitor = _MethodVisitor(self, stmt)
                 visitor.visit_FunctionDef(stmt)
             elif isinstance(stmt, (ast.Assign, ast.AnnAssign)):
@@ -543,13 +623,54 @@ class _ClassChecker:
                         f"mutable class-level attribute {names} is shared by "
                         "every node instance; initialize it in __init__",
                     )
+        self._check_starvation(step)
+
+    def _check_starvation(self, step: Optional[ast.FunctionDef]) -> None:
+        """Rule L6: a step that may act on silence needs a declaration."""
+        if step is None or _step_is_trivial(step):
+            return
+        if _declares_always_active(self.node) or self.inherits_always_active:
+            return
+        if _calls_wake_next_round(step) or _sets_done_unconditionally(step):
+            return
+        self.report(
+            "L6",
+            step,
+            f"{self.node.name}.step() may act on silence but the class does "
+            "not declare always_active; the active-set scheduler would skip "
+            "it in rounds where it receives nothing -- declare "
+            "always_active = True (or False for purely event-driven "
+            "programs) or call self.wake_next_round()",
+            method="step",
+        )
+
+
+def _always_active_declarers(modules: Sequence[_ModuleInfo]) -> Set[str]:
+    """Class names that declare ``always_active``, own or inherited (by name)."""
+    declared: Set[str] = set()
+    for info in modules:
+        for name, node in info.classes.items():
+            if _declares_always_active(node):
+                declared.add(name)
+    changed = True
+    while changed:
+        changed = False
+        for info in modules:
+            for name, bases in info.base_names.items():
+                if name not in declared and bases & declared:
+                    declared.add(name)
+                    changed = True
+    return declared
 
 
 def _analyze_modules(modules: Sequence[_ModuleInfo]) -> List[Finding]:
     findings: List[Finding] = []
-    for definitions in _subclass_closure(modules).values():
+    declarers = _always_active_declarers(modules)
+    for name, definitions in _subclass_closure(modules).items():
         for info, node in definitions:
-            _ClassChecker(info, node, findings).run()
+            _ClassChecker(
+                info, node, findings, inherits_always_active=name in declarers
+            ).run()
     return sort_findings(findings)
 
 

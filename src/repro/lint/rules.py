@@ -36,6 +36,17 @@ L5  aliasing/mutation hazard: assigning to ``ctx`` attributes, writing into
     obtained from the inbox.  Messages and contexts must be treated as
     immutable; mutating them can leak state between rounds or nodes.
 
+L6  starvation hazard: a :class:`NodeProgram` subclass with a non-trivial
+    ``step`` that neither declares ``always_active`` at class level nor
+    calls ``self.wake_next_round()``.  The active-set scheduler of
+    :class:`~repro.localmodel.network.SyncNetwork` skips silent nodes, so
+    a program that acts on silence (round counting, phase re-draws) would
+    silently starve.  Declare ``always_active = True`` for such programs,
+    or ``always_active = False`` to assert the program is purely
+    event-driven.  Exempt: programs whose ``step`` unconditionally sets
+    ``self.done = True`` at its top level -- they finish on their first
+    step (round 0 schedules every node) and cannot starve.
+
 Suppression: append ``# repro-lint: disable=L3`` (comma-separate several
 codes, or use ``all``) to the offending line or the line above it; a
 ``# repro-lint: disable-file=L3`` comment before the first statement of a
@@ -94,6 +105,13 @@ RULES: Dict[str, Rule] = {
             "context-mutation",
             "node program mutates ctx, ctx.inbox, or a received message "
             "(messages must be treated as immutable)",
+        ),
+        Rule(
+            "L6",
+            "starvation-hazard",
+            "node program with a non-trivial step neither declares "
+            "always_active nor calls wake_next_round(); the active-set "
+            "scheduler would skip it in silent rounds",
         ),
     )
 }

@@ -1,7 +1,10 @@
 """LOCAL-model simulation: message passing, ball gathering, round accounting.
 
 * :mod:`repro.localmodel.network` -- synchronous message-passing engine
-  (:class:`SyncNetwork`) driving per-node :class:`NodeProgram` instances.
+  (:class:`SyncNetwork`) driving per-node :class:`NodeProgram` instances,
+  with active-set scheduling and pluggable :class:`TraceSink` observers.
+* :mod:`repro.localmodel.trace` -- the stock sinks (recording, metrics,
+  JSONL export) and the :class:`TracedNetwork` convenience wrapper.
 * :mod:`repro.localmodel.gather` -- flooding-based ball gathering, the
   executable witness of the "r rounds = radius-r knowledge" equivalence.
 * :mod:`repro.localmodel.rounds` -- ledgers and per-node clocks used by the
@@ -26,13 +29,32 @@ from .colorreduction import (
 )
 from .gather import BallGatherProgram, KnownBall, gather_balls
 from .network import (
+    SCHEDULERS,
+    MessageRecord,
     NodeContext,
     NodeProgram,
     RunStats,
     SealedNodeContext,
     SyncNetwork,
+    TraceSink,
+    vertex_key,
+)
+from .programs import (
+    BFSLayerProgram,
+    EchoCountProgram,
+    LeaderElectionProgram,
+    bfs_layers,
+    elect_leader,
+    tree_count,
 )
 from .rounds import NodeClocks, RoundLedger
+from .trace import (
+    JSONLTraceSink,
+    MetricsSink,
+    RecordingSink,
+    RoundTrace,
+    TracedNetwork,
+)
 from .sealed import FrozenMessageDict, SealedContextError, SealedInbox, freeze
 from .rulingset import (
     charged_rounds_distance_k,
@@ -50,13 +72,28 @@ __all__ = [
     "BallGatherProgram",
     "KnownBall",
     "gather_balls",
+    "SCHEDULERS",
+    "MessageRecord",
     "NodeContext",
     "NodeProgram",
     "RunStats",
     "SealedNodeContext",
     "SyncNetwork",
+    "TraceSink",
+    "vertex_key",
+    "BFSLayerProgram",
+    "EchoCountProgram",
+    "LeaderElectionProgram",
+    "bfs_layers",
+    "elect_leader",
+    "tree_count",
     "NodeClocks",
     "RoundLedger",
+    "JSONLTraceSink",
+    "MetricsSink",
+    "RecordingSink",
+    "RoundTrace",
+    "TracedNetwork",
     "FrozenMessageDict",
     "SealedContextError",
     "SealedInbox",

@@ -191,7 +191,13 @@ class LinialPathProgram(NodeProgram):
     Every node must be told the global ID bound (standard in the LOCAL
     model: IDs come from a known polynomial range).  The node's final color
     lands in :attr:`output`.
+
+    Acts on silence: path endpoints have one neighbor, and a degenerate
+    one-vertex path has none, yet every node must advance its reduction
+    schedule each round regardless of what arrives.
     """
+
+    always_active = True
 
     def __init__(self, node: int, neighbors: List[int], id_bound: int):
         super().__init__(node, neighbors)

@@ -61,7 +61,12 @@ class BallGatherProgram(NodeProgram):
     Gamma^{r-1}[v] -- in particular the full induced subgraph on
     Gamma^{r-1}[v] plus its boundary edges, exactly what the local-view
     construction of Section 3 consumes.
+
+    Acts on silence: termination is the ``round_number >= radius`` check,
+    which must fire even for an isolated vertex that never receives.
     """
+
+    always_active = True
 
     def __init__(self, node: Vertex, neighbors: List[Vertex], radius: int, state: Any):
         super().__init__(node, neighbors)
@@ -93,6 +98,7 @@ def gather_balls(
     radius: int,
     states: Optional[Dict[Vertex, Any]] = None,
     sealed: bool = False,
+    scheduler: str = "active",
 ) -> Tuple[Dict[Vertex, KnownBall], int]:
     """Run the flooding protocol; returns per-node balls and rounds used."""
     if radius < 0:
@@ -102,6 +108,7 @@ def gather_balls(
         graph,
         lambda v, nbrs: BallGatherProgram(v, nbrs, radius, state_of.get(v)),
         sealed=sealed,
+        scheduler=scheduler,
     )
     outputs = net.run(max_rounds=radius + 2)
     return outputs, net.stats.rounds

@@ -13,12 +13,62 @@ algorithms of the library (Luby's MIS, Cole-Vishkin color reduction, ball
 gathering) run on it directly; the large layered algorithms of the paper
 use the ball-equivalence accounting of :mod:`repro.localmodel.rounds`
 instead (see that module's docstring for why both exist).
+
+Active-set scheduling
+---------------------
+
+The LOCAL model charges *rounds*, not work, so a simulator is free to
+skip nodes whose step would provably be a no-op.  The default scheduler
+(``scheduler="active"``) steps a node in a round only when it is not done
+and at least one of these holds:
+
+* it is round 0 (every program gets its initialization step);
+* the node received a message in the previous round;
+* the node's program called :meth:`NodeProgram.wake_next_round` during
+  its last step;
+* the program declares :attr:`NodeProgram.always_active` (it "acts on
+  silence": round counting, internal state machines, timeout-style
+  termination -- anything whose empty-inbox step is not a no-op).
+
+A program that acts on silence without declaring ``always_active`` (or
+requesting wakeup) starves: the active set empties while the node is
+still running, and :meth:`SyncNetwork.run` raises ``RuntimeError``
+immediately instead of spinning to the round budget.  Lint rule L6
+(:mod:`repro.lint.rules`) flags such programs statically.
+
+``scheduler="dense"`` preserves the historical reference semantics --
+every not-yet-done node is stepped every round -- and exists so the
+equivalence suite can assert that active-set scheduling changes neither
+outputs nor :class:`RunStats` nor traces for any conforming program.
+Inboxes are allocated only for nodes that actually receive, under both
+schedulers.
+
+Trace sinks
+-----------
+
+Observability is a pluggable :class:`TraceSink` attached to the network
+(``SyncNetwork(..., sinks=[...])``).  After *every* round -- including
+rounds driven by direct :meth:`SyncNetwork.step_round` calls -- each sink
+receives ``on_round(round_no, messages, completed, active_count)`` with:
+
+* ``round_no`` -- the network's own round counter for the round just
+  executed (0-based; always equals ``stats.rounds - 1`` at call time);
+* ``messages`` -- the round's :class:`MessageRecord` list, sorted by
+  ``(sender, receiver)`` under the natural vertex order
+  (:func:`vertex_key`), so integer ids order 0, 1, 2, ..., 10, 11;
+* ``completed`` -- nodes whose program set ``done`` this round, sorted
+  by :func:`vertex_key`;
+* ``active_count`` -- how many nodes were actually stepped.
+
+Sinks fire in attachment order.  :class:`~repro.localmodel.trace.TracedNetwork`
+is a thin convenience wrapper over one recording sink; see
+``docs/tracing.md`` for the protocol and the JSONL export schema.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Hashable, List, Mapping, Optional, Set
+from typing import Any, Callable, Dict, Hashable, List, Mapping, Optional, Set, Tuple
 
 from ..graphs.adjacency import Graph, Vertex
 from .sealed import SealedContextError, SealedInbox, freeze
@@ -29,7 +79,55 @@ __all__ = [
     "SealedNodeContext",
     "SyncNetwork",
     "RunStats",
+    "MessageRecord",
+    "TraceSink",
+    "vertex_key",
+    "SCHEDULERS",
 ]
+
+#: The recognized scheduling disciplines of :class:`SyncNetwork`.
+SCHEDULERS = ("active", "dense")
+
+
+def vertex_key(v: Vertex) -> Tuple[int, str, Any]:
+    """Sort key realizing the natural vertex order.
+
+    Numeric ids sort numerically (0, 1, 2, ..., 10, 11 -- not the string
+    order 0, 1, 10, 11, 2), everything else sorts by type name then
+    string form, so graphs mixing id types remain sortable.
+    """
+    if isinstance(v, bool) or not isinstance(v, (int, float)):
+        return (1, type(v).__name__, str(v))
+    return (0, "", v)
+
+
+@dataclass(frozen=True)
+class MessageRecord:
+    """One delivered message, as reported to trace sinks."""
+
+    sender: Vertex
+    receiver: Vertex
+    payload: Any
+
+
+class TraceSink:
+    """Observer protocol for per-round network events.
+
+    Subclass (or duck-type) and attach via ``SyncNetwork(..., sinks=[...])``.
+    The network calls :meth:`on_round` exactly once per executed round with
+    canonically ordered data (see the module docstring for the ordering
+    guarantees); sinks must not mutate the ``messages``/``completed``
+    lists, which are shared by every sink attached to the same network.
+    """
+
+    def on_round(
+        self,
+        round_no: int,
+        messages: List[MessageRecord],
+        completed: List[Vertex],
+        active_count: int,
+    ) -> None:
+        raise NotImplementedError
 
 
 @dataclass
@@ -76,17 +174,32 @@ class NodeProgram:
 
     Subclasses override :meth:`step`, returning the outbox: a mapping from
     neighbor to message (use :meth:`broadcast` to message every neighbor).
-    A program signals completion by setting :attr:`done`; its result should
-    be left in :attr:`output`.  Messages returned in the same step as
-    ``done = True`` are still delivered, so a node can announce its final
-    state as it stops.
+    A program signals completion by setting :attr:`done` *inside* a step;
+    its result should be left in :attr:`output`.  Messages returned in the
+    same step as ``done = True`` are still delivered, so a node can
+    announce its final state as it stops.
+
+    Scheduling contract (see the module docstring): under the active-set
+    scheduler a quiet node -- one that received nothing last round -- is
+    not stepped.  A program whose empty-inbox step is *not* a no-op must
+    either declare :attr:`always_active` = True at class level, or call
+    :meth:`wake_next_round` before returning from any step after which it
+    needs to run regardless of incoming messages.  Purely event-driven
+    programs should declare ``always_active = False`` explicitly; lint
+    rule L6 enforces that the declaration exists one way or the other.
     """
+
+    #: Schedule this node every round while it is not done.  Declare True
+    #: for programs that act on silence (round counting, state machines);
+    #: declare False explicitly for purely event-driven programs.
+    always_active = False
 
     def __init__(self, node: Vertex, neighbors: List[Vertex]):
         self.node = node
         self.neighbors = list(neighbors)
         self.done = False
         self.output: Any = None
+        self._wake_requested = False
 
     def step(self, ctx: NodeContext) -> Mapping[Vertex, Any]:
         raise NotImplementedError
@@ -94,10 +207,25 @@ class NodeProgram:
     def broadcast(self, message: Any) -> Dict[Vertex, Any]:
         return {u: message for u in self.neighbors}
 
+    def wake_next_round(self) -> None:
+        """Request a step next round even if no message arrives.
+
+        The per-step escape hatch for programs that usually are
+        event-driven but occasionally act on silence; the request is
+        consumed (and cleared) by the scheduler after the current step.
+        """
+        self._wake_requested = True
+
 
 @dataclass
 class RunStats:
-    """Round and message accounting for a :class:`SyncNetwork` run."""
+    """Round and message accounting for a :class:`SyncNetwork` run.
+
+    Identical under both schedulers for conforming programs: skipped
+    nodes would have sent nothing, so rounds, message totals, and
+    per-round maxima are scheduling-invariant (asserted program-by-program
+    in the equivalence suite).
+    """
 
     rounds: int = 0
     messages_sent: int = 0
@@ -112,12 +240,19 @@ class RunStats:
 class SyncNetwork:
     """Runs one :class:`NodeProgram` per node of a graph, synchronously.
 
+    ``scheduler`` selects the stepping discipline: ``"active"`` (default)
+    steps only nodes with a reason to run (see the module docstring),
+    ``"dense"`` steps every not-done node every round (the historical
+    reference semantics).  ``sinks`` is an iterable of :class:`TraceSink`
+    observers notified after every round.
+
     With ``sealed=True`` every delivered message is deep-frozen and every
     context is read-only (see :mod:`repro.localmodel.sealed`): a program
     peeking beyond its neighborhood or mutating delivered state raises
     :class:`~repro.localmodel.sealed.SealedContextError` at the offending
-    statement.  Sealing is behavior-preserving for conforming programs, so
-    it is safe (just slightly slower) to leave on in tests.
+    statement.  Sealing is behavior-preserving for conforming programs
+    and orthogonal to the scheduler, so any of the four sealed x scheduler
+    combinations is safe (just slightly slower with sealing) in tests.
     """
 
     def __init__(
@@ -125,68 +260,164 @@ class SyncNetwork:
         graph: Graph,
         program_factory: Callable[[Vertex, List[Vertex]], NodeProgram],
         sealed: bool = False,
+        scheduler: str = "active",
+        sinks: Optional[List[TraceSink]] = None,
     ):
+        if scheduler not in SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler {scheduler!r}; expected one of {SCHEDULERS}"
+            )
         self.graph = graph
         self.sealed = sealed
+        self.scheduler = scheduler
+        self.sinks: List[TraceSink] = list(sinks) if sinks else []
         self.programs: Dict[Vertex, NodeProgram] = {
             v: program_factory(v, sorted(graph.neighbors(v))) for v in graph.vertices()
         }
         self.stats = RunStats()
-        self._pending: Dict[Vertex, Dict[Vertex, Any]] = {v: {} for v in self.programs}
+        #: canonical stepping order (= vertex insertion order of the graph)
+        self._order: Dict[Vertex, int] = {v: i for i, v in enumerate(self.programs)}
+        #: receiver -> {sender: message}; holds only nodes that received
+        self._pending: Dict[Vertex, Dict[Vertex, Any]] = {}
+        #: not-done nodes owed a step next round (messages or wakeups);
+        #: round 0 steps everybody so initialization always happens
+        self._active: Set[Vertex] = set(self.programs)
+        #: not-done nodes whose program declares always_active
+        self._always: Set[Vertex] = {
+            v for v, p in self.programs.items() if p.always_active
+        }
+        #: cached per-node frozenset of neighbors for sealed inboxes
+        self._sealed_allowed: Dict[Vertex, Any] = {}
+        self._undone = len(self.programs)
 
+    # ------------------------------------------------------------------
+    # driving
+    # ------------------------------------------------------------------
     def run(self, max_rounds: int = 10_000) -> Dict[Vertex, Any]:
         """Run until every program is done; returns the per-node outputs.
 
-        Raises ``RuntimeError`` if the round budget is exhausted first --
-        a deadlocked program is a bug that should fail loudly rather than
-        spin forever.
+        Fast-exits as soon as the last program completes.  Raises
+        ``RuntimeError`` if the round budget is exhausted first, or --
+        under the active-set scheduler -- immediately when running nodes
+        starve (no messages in flight, no wakeups, no always-active
+        programs): a deadlocked or non-conforming program is a bug that
+        should fail loudly rather than spin forever.
         """
         for _round in range(max_rounds):
-            if all(p.done for p in self.programs.values()):
+            if self._undone == 0:
                 return self.outputs()
+            if self.scheduler == "active" and not (self._active or self._always):
+                raise RuntimeError(
+                    f"{self._undone} node(s) starved: still running, but no "
+                    "messages are in flight and no program requested wakeup. "
+                    "A program that acts on silence must declare "
+                    "always_active = True or call wake_next_round() "
+                    "(lint rule L6)."
+                )
             self.step_round()
         raise RuntimeError(
             f"network did not terminate within {max_rounds} rounds; "
-            f"{sum(1 for p in self.programs.values() if not p.done)} nodes still running"
+            f"{self._undone} nodes still running"
         )
 
     def _make_context(self, v: Vertex, program: NodeProgram) -> NodeContext:
         # ctx.neighbors is always a fresh list: handing out the program's
         # own list would let a program corrupt its neighbor set by mutating
         # the context (an aliasing hazard lint rule L5 exists to prevent).
+        inbox = self._pending.get(v)
         if self.sealed:
+            allowed = self._sealed_allowed.get(v)
+            if allowed is None:
+                allowed = self._sealed_allowed[v] = frozenset(program.neighbors)
             return SealedNodeContext(
                 node=v,
                 neighbors=list(program.neighbors),
                 round_number=self.stats.rounds,
-                inbox=SealedInbox(v, frozenset(program.neighbors), self._pending[v]),
+                inbox=SealedInbox(v, allowed, inbox if inbox is not None else {}),
             )
         return NodeContext(
             node=v,
             neighbors=list(program.neighbors),
             round_number=self.stats.rounds,
-            inbox=self._pending[v],
+            inbox=inbox if inbox is not None else {},
         )
+
+    def _scheduled(self) -> List[Vertex]:
+        """The nodes to step this round, in canonical order."""
+        if self.scheduler == "dense":
+            return [v for v, p in self.programs.items() if not p.done]
+        if self._always:
+            chosen = self._active | self._always
+        else:
+            chosen = self._active
+        return sorted(chosen, key=self._order.__getitem__)
 
     def step_round(self) -> None:
         """Advance the whole network by one synchronous round."""
-        outboxes: Dict[Vertex, Mapping[Vertex, Any]] = {}
-        for v, program in self.programs.items():
+        round_no = self.stats.rounds
+        scheduled = self._scheduled()
+        outboxes: List[Tuple[Vertex, Mapping[Vertex, Any]]] = []
+        completed: List[Vertex] = []
+        for v in scheduled:
+            program = self.programs[v]
+            outbox = program.step(self._make_context(v, program)) or {}
             if program.done:
-                continue
-            outboxes[v] = program.step(self._make_context(v, program)) or {}
+                self._undone -= 1
+                self._always.discard(v)
+                program._wake_requested = False
+                completed.append(v)
+            if outbox:
+                outboxes.append((v, outbox))
+
         message_count = 0
-        new_pending: Dict[Vertex, Dict[Vertex, Any]] = {v: {} for v in self.programs}
-        for sender, outbox in outboxes.items():
+        new_pending: Dict[Vertex, Dict[Vertex, Any]] = {}
+        records: Optional[List[MessageRecord]] = [] if self.sinks else None
+        for sender, outbox in outboxes:
             for receiver, message in outbox.items():
                 if not self.graph.has_edge(sender, receiver):
                     raise ValueError(
                         f"node {sender!r} tried to message non-neighbor {receiver!r}"
                     )
-                new_pending[receiver][sender] = freeze(message) if self.sealed else message
+                payload = freeze(message) if self.sealed else message
                 message_count += 1
+                if records is not None:
+                    records.append(MessageRecord(sender, receiver, payload))
+                if not self.programs[receiver].done:
+                    new_pending.setdefault(receiver, {})[sender] = payload
+
+        # Next round's active set: actual receivers plus explicit wakeups.
+        next_active = set(new_pending)
+        for v in scheduled:
+            program = self.programs[v]
+            if program._wake_requested:
+                program._wake_requested = False
+                if not program.done:
+                    next_active.add(v)
+
         self._pending = new_pending
+        self._active = next_active
         self.stats.record_round(message_count)
+
+        if self.sinks:
+            assert records is not None
+            records.sort(key=lambda m: (vertex_key(m.sender), vertex_key(m.receiver)))
+            completed.sort(key=vertex_key)
+            for sink in self.sinks:
+                sink.on_round(round_no, records, completed, len(scheduled))
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def add_sink(self, sink: TraceSink) -> TraceSink:
+        """Attach a :class:`TraceSink`; returns it for chaining."""
+        self.sinks.append(sink)
+        return sink
+
+    def active_nodes(self) -> List[Vertex]:
+        """The nodes the active-set scheduler would step next round."""
+        return self._scheduled() if self.scheduler == "active" else [
+            v for v, p in self.programs.items() if not p.done
+        ]
 
     def outputs(self) -> Dict[Vertex, Any]:
         return {v: p.output for v, p in self.programs.items()}

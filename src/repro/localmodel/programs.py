@@ -33,7 +33,13 @@ __all__ = [
 
 
 class BFSLayerProgram(NodeProgram):
-    """Distance-from-root by flooding; output = the distance (or None)."""
+    """Distance-from-root by flooding; output = the distance (or None).
+
+    Acts on silence: termination is a round-count check, so the node must
+    be stepped even in rounds where nothing arrives.
+    """
+
+    always_active = True
 
     def __init__(self, node: Vertex, neighbors: List[Vertex], root: Vertex, budget: int):
         super().__init__(node, neighbors)
@@ -57,18 +63,31 @@ class BFSLayerProgram(NodeProgram):
 
 
 def bfs_layers(
-    graph: Graph, root: Vertex, budget: Optional[int] = None, sealed: bool = False
+    graph: Graph,
+    root: Vertex,
+    budget: Optional[int] = None,
+    sealed: bool = False,
+    scheduler: str = "active",
 ) -> Dict[Vertex, Optional[int]]:
     """Distances from ``root`` computed by message passing."""
     budget = budget if budget is not None else len(graph) + 1
     net = SyncNetwork(
-        graph, lambda v, nbrs: BFSLayerProgram(v, nbrs, root, budget), sealed=sealed
+        graph,
+        lambda v, nbrs: BFSLayerProgram(v, nbrs, root, budget),
+        sealed=sealed,
+        scheduler=scheduler,
     )
     return net.run(max_rounds=budget + 2)
 
 
 class LeaderElectionProgram(NodeProgram):
-    """Minimum-ID flooding election; output = the elected leader's ID."""
+    """Minimum-ID flooding election; output = the elected leader's ID.
+
+    Acts on silence: the diameter-budget countdown runs whether or not a
+    better candidate arrives.
+    """
+
+    always_active = True
 
     def __init__(self, node: Vertex, neighbors: List[Vertex], budget: int):
         super().__init__(node, neighbors)
@@ -91,12 +110,18 @@ class LeaderElectionProgram(NodeProgram):
 
 
 def elect_leader(
-    graph: Graph, budget: Optional[int] = None, sealed: bool = False
+    graph: Graph,
+    budget: Optional[int] = None,
+    sealed: bool = False,
+    scheduler: str = "active",
 ) -> Dict[Vertex, Vertex]:
     """Every node's view of the leader after ``budget`` rounds."""
     budget = budget if budget is not None else len(graph) + 1
     net = SyncNetwork(
-        graph, lambda v, nbrs: LeaderElectionProgram(v, nbrs, budget), sealed=sealed
+        graph,
+        lambda v, nbrs: LeaderElectionProgram(v, nbrs, budget),
+        sealed=sealed,
+        scheduler=scheduler,
     )
     return net.run(max_rounds=budget + 2)
 
@@ -107,7 +132,14 @@ class EchoCountProgram(NodeProgram):
     Leaves report 1; internal nodes wait for all children then report
     1 + sum.  The root's output is n; other nodes output their subtree
     size.  Requires the communication graph to be a tree.
+
+    Purely event-driven: after the round-0 step a node changes state only
+    upon receiving a child's report, so the active-set scheduler may
+    legitimately skip it while its subtree is still counting -- the
+    declaration below asserts exactly that.
     """
+
+    always_active = False
 
     def __init__(self, node: Vertex, neighbors: List[Vertex], root: Vertex):
         super().__init__(node, neighbors)
@@ -134,12 +166,17 @@ class EchoCountProgram(NodeProgram):
         return {}
 
 
-def tree_count(tree: Graph, root: Vertex, sealed: bool = False) -> int:
+def tree_count(
+    tree: Graph, root: Vertex, sealed: bool = False, scheduler: str = "active"
+) -> int:
     """The number of tree nodes, learned by the root via convergecast."""
     if len(tree) == 1:
         return 1
     net = SyncNetwork(
-        tree, lambda v, nbrs: EchoCountProgram(v, nbrs, root), sealed=sealed
+        tree,
+        lambda v, nbrs: EchoCountProgram(v, nbrs, root),
+        sealed=sealed,
+        scheduler=scheduler,
     )
     outputs = net.run(max_rounds=4 * len(tree) + 8)
     return outputs[root]

@@ -21,6 +21,10 @@ Two tools live here:
     G^{k-1}; re-deriving Schneider-Wattenhofer's growth-bounded-graph MIS
     is out of scope (see DESIGN.md), so callers charge its documented round
     cost O(k log* n) via :func:`charged_rounds_distance_k`.
+
+Both tools are lock-step simulations: round counts here are *charged*
+analytically rather than executed on :class:`SyncNetwork`, so they are
+unaffected by (and independent of) the network's scheduler choice.
 """
 
 from __future__ import annotations

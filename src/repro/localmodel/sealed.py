@@ -19,6 +19,11 @@ Sealing is behavior-preserving for conforming programs: reading through a
 frozen mapping is indistinguishable from reading the original dict, so a
 program that passes the linter produces byte-identical outputs with sealing
 on or off (asserted for every stock program in the test-suite).
+
+Sealing is also orthogonal to the network's scheduler: it wraps *what a
+stepped node may see*, never *which nodes are stepped*, so sealed runs
+behave identically under the active-set and dense schedulers (the
+equivalence suite asserts the full ``sealed x scheduler`` product).
 """
 
 from __future__ import annotations

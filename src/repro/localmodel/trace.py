@@ -1,10 +1,23 @@
-"""Round-by-round tracing of synchronous network runs.
+"""Round-by-round tracing of synchronous network runs, as trace sinks.
 
 Debugging a distributed algorithm means asking "who sent what, when, and
-what did each node believe at that moment".  :class:`TracedNetwork` wraps
-:class:`~repro.localmodel.network.SyncNetwork`, recording every round's
-messages and completions, and renders a textual timeline
-(:meth:`TracedNetwork.timeline`) like::
+what did each node believe at that moment".  Observability attaches to
+:class:`~repro.localmodel.network.SyncNetwork` through the
+:class:`~repro.localmodel.network.TraceSink` protocol -- the network
+calls ``on_round(round_no, messages, completed, active_count)`` after
+every executed round, with messages and completions already in canonical
+natural-vertex order (``0, 1, 2, ..., 10, 11`` for integer ids).  This
+module provides the stock sinks:
+
+* :class:`RecordingSink` -- keeps every round as a :class:`RoundTrace`;
+* :class:`MetricsSink` -- per-round message/active-node histograms and
+  per-round wall time, without retaining payloads;
+* :class:`JSONLTraceSink` -- streams one JSON object per round (the
+  ``repro trace --jsonl`` export; schema in ``docs/tracing.md``).
+
+:class:`TracedNetwork` remains the one-line convenience wrapper: a
+:class:`SyncNetwork` with a :class:`RecordingSink` attached, rendering a
+textual timeline (:meth:`TracedNetwork.timeline`) like::
 
     round 0: 4 msgs | sent: 0->1, 1->0, 1->2, 2->1
     round 1: 2 msgs | done: 0, 2 | sent: 1->0, 1->2
@@ -13,25 +26,33 @@ messages and completions, and renders a textual timeline
 Traces are plain data (:class:`RoundTrace`), so tests can assert on exact
 communication patterns -- e.g. that the paper's ball-gathering really
 floods only for ``radius`` rounds, or that Luby's algorithm goes quiet
-exactly when every node decides.
+exactly when every node decides.  Because sinks fire from inside the
+network, traces stay complete and correctly numbered even when a caller
+interleaves direct ``network.step_round()`` calls with the wrapper's:
+``RoundTrace.round_number`` is the network's own round counter, never a
+separately maintained count.
 """
 
 from __future__ import annotations
 
+import json
+import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, IO, List, Optional, Tuple, Union
 
 from ..graphs.adjacency import Graph, Vertex
-from .network import NodeProgram, SyncNetwork
+from .network import MessageRecord, NodeProgram, SyncNetwork, TraceSink, vertex_key
+from .sealed import FrozenMessageDict
 
-__all__ = ["MessageRecord", "RoundTrace", "TracedNetwork"]
-
-
-@dataclass(frozen=True)
-class MessageRecord:
-    sender: Vertex
-    receiver: Vertex
-    payload: Any
+__all__ = [
+    "MessageRecord",
+    "RoundTrace",
+    "RecordingSink",
+    "MetricsSink",
+    "JSONLTraceSink",
+    "TracedNetwork",
+    "jsonable_payload",
+]
 
 
 @dataclass
@@ -39,50 +60,181 @@ class RoundTrace:
     round_number: int
     messages: List[MessageRecord] = field(default_factory=list)
     completed: List[Vertex] = field(default_factory=list)
+    active_count: int = 0
 
     @property
     def message_count(self) -> int:
         return len(self.messages)
 
 
+class RecordingSink(TraceSink):
+    """Keeps every round as a :class:`RoundTrace` (what TracedNetwork uses)."""
+
+    def __init__(self) -> None:
+        self.rounds: List[RoundTrace] = []
+
+    def on_round(self, round_no, messages, completed, active_count) -> None:
+        # round_no is the network's own counter; a fresh sink sees rounds
+        # 0, 1, 2, ... with no gaps, so recording position and network
+        # round number must agree -- drift here means the engine skipped
+        # a notification (the bug this assertion guards against).
+        if self.rounds and round_no != self.rounds[-1].round_number + 1:
+            raise AssertionError(
+                f"trace drift: round {round_no} followed "
+                f"{self.rounds[-1].round_number}"
+            )
+        self.rounds.append(
+            RoundTrace(round_no, list(messages), list(completed), active_count)
+        )
+
+
+class MetricsSink(TraceSink):
+    """Per-round metrics without payload retention.
+
+    Records, per round: message count, active (stepped) node count,
+    completion count, and wall-clock time (measured between successive
+    ``on_round`` calls, so a round's figure includes its delivery and
+    bookkeeping).  Histograms aggregate the per-round series for quick
+    "how quiet was this run" answers.
+    """
+
+    def __init__(self) -> None:
+        self.message_counts: List[int] = []
+        self.active_counts: List[int] = []
+        self.completed_counts: List[int] = []
+        self.wall_times: List[float] = []
+        self._last = time.perf_counter()
+
+    def on_round(self, round_no, messages, completed, active_count) -> None:
+        now = time.perf_counter()
+        self.wall_times.append(now - self._last)
+        self._last = now
+        self.message_counts.append(len(messages))
+        self.active_counts.append(active_count)
+        self.completed_counts.append(len(completed))
+
+    @staticmethod
+    def _histogram(series: List[int]) -> Dict[int, int]:
+        out: Dict[int, int] = {}
+        for value in series:
+            out[value] = out.get(value, 0) + 1
+        return dict(sorted(out.items()))
+
+    def message_histogram(self) -> Dict[int, int]:
+        """messages-per-round -> number of rounds with that count."""
+        return self._histogram(self.message_counts)
+
+    def active_histogram(self) -> Dict[int, int]:
+        """active-nodes-per-round -> number of rounds with that count."""
+        return self._histogram(self.active_counts)
+
+    def summary(self) -> Dict[str, Any]:
+        rounds = len(self.message_counts)
+        return {
+            "rounds": rounds,
+            "messages": sum(self.message_counts),
+            "max_messages_per_round": max(self.message_counts, default=0),
+            "max_active": max(self.active_counts, default=0),
+            "total_steps": sum(self.active_counts),
+            "quiet_rounds": sum(1 for m in self.message_counts if m == 0),
+            "wall_seconds": sum(self.wall_times),
+        }
+
+
+def jsonable_payload(payload: Any) -> Any:
+    """Message payloads as JSON-encodable data (tuples/sets/frozen -> lists).
+
+    Payload containers become lists/objects recursively; anything else
+    non-encodable falls back to ``str``.  Lossy but deterministic, which
+    is the right trade for a trace meant to be diffed and grepped.
+    """
+    if isinstance(payload, FrozenMessageDict):
+        payload = dict(payload)
+    if isinstance(payload, dict):
+        return {str(k): jsonable_payload(v) for k, v in payload.items()}
+    if isinstance(payload, (list, tuple)):
+        return [jsonable_payload(v) for v in payload]
+    if isinstance(payload, (set, frozenset)):
+        return sorted((jsonable_payload(v) for v in payload), key=repr)
+    if payload is None or isinstance(payload, (bool, int, float, str)):
+        return payload
+    return str(payload)
+
+
+class JSONLTraceSink(TraceSink):
+    """Streams one JSON object per round (schema: ``docs/tracing.md``).
+
+    Accepts an open text stream or a path; pass ``payloads=False`` to
+    drop message payloads (sender/receiver pairs only), which keeps
+    traces of payload-heavy protocols like ball gathering small.
+    """
+
+    def __init__(self, target: Union[str, IO[str]], payloads: bool = True):
+        if hasattr(target, "write"):
+            self._stream: IO[str] = target  # type: ignore[assignment]
+            self._owns = False
+        else:
+            self._stream = open(target, "w")
+            self._owns = True
+        self.payloads = payloads
+        self.rounds_written = 0
+
+    def on_round(self, round_no, messages, completed, active_count) -> None:
+        record: Dict[str, Any] = {
+            "round": round_no,
+            "active": active_count,
+            "message_count": len(messages),
+            "messages": [
+                {"from": jsonable_payload(m.sender), "to": jsonable_payload(m.receiver)}
+                | ({"payload": jsonable_payload(m.payload)} if self.payloads else {})
+                for m in messages
+            ],
+            "completed": [jsonable_payload(v) for v in completed],
+        }
+        self._stream.write(json.dumps(record, sort_keys=True) + "\n")
+        self.rounds_written += 1
+
+    def close(self) -> None:
+        self._stream.flush()
+        if self._owns:
+            self._stream.close()
+
+    def __enter__(self) -> "JSONLTraceSink":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
 class TracedNetwork:
-    """A SyncNetwork that records per-round message and completion logs."""
+    """A SyncNetwork with a recording sink: per-round message/completion logs."""
 
     def __init__(
         self,
         graph: Graph,
         program_factory: Callable[[Vertex, List[Vertex]], NodeProgram],
         sealed: bool = False,
+        scheduler: str = "active",
+        sinks: Optional[List[TraceSink]] = None,
     ):
-        self.network = SyncNetwork(graph, program_factory, sealed=sealed)
-        self.rounds: List[RoundTrace] = []
+        self._sink = RecordingSink()
+        self.network = SyncNetwork(
+            graph,
+            program_factory,
+            sealed=sealed,
+            scheduler=scheduler,
+            sinks=[self._sink, *(sinks or [])],
+        )
+
+    @property
+    def rounds(self) -> List[RoundTrace]:
+        return self._sink.rounds
 
     def run(self, max_rounds: int = 10_000) -> Dict[Vertex, Any]:
-        for _ in range(max_rounds):
-            if all(p.done for p in self.network.programs.values()):
-                return self.network.outputs()
-            self.step_round()
-        raise RuntimeError(f"traced network did not finish in {max_rounds} rounds")
+        return self.network.run(max_rounds=max_rounds)
 
     def step_round(self) -> None:
-        before_done = {
-            v for v, p in self.network.programs.items() if p.done
-        }
         self.network.step_round()
-        trace = RoundTrace(round_number=len(self.rounds))
-        for receiver, inbox in self.network._pending.items():
-            for sender, payload in inbox.items():
-                trace.messages.append(MessageRecord(sender, receiver, payload))
-        trace.messages.sort(key=lambda m: (str(m.sender), str(m.receiver)))
-        trace.completed = sorted(
-            (
-                v
-                for v, p in self.network.programs.items()
-                if p.done and v not in before_done
-            ),
-            key=str,
-        )
-        self.rounds.append(trace)
 
     # ------------------------------------------------------------------
     # reporting

@@ -71,6 +71,18 @@ def _sleep_cell(seconds: float) -> Dict[str, Any]:
     return {"slept": seconds}
 
 
+def _exit_cell(code: int) -> Dict[str, Any]:
+    """Test hook: a cell that hard-kills its process (``os._exit``).
+
+    Simulates a segfault-style crash that no in-worker exception handler
+    can catch; the engine's crash-isolation tests address it by name.  It
+    is never planned by the registry.
+    """
+    import os
+
+    os._exit(code)
+
+
 def t3_cell(family: str, eps: float, n: int, seed: int) -> Dict[str, Any]:
     """T3: one Algorithm 1 run; ratio/chi/colors for the worst-seed fold."""
     g = _family_graph(family, n, seed)
@@ -145,12 +157,14 @@ def l6_cell(n: int, family: str, seed: int) -> Dict[str, Any]:
 def b1_cell(family: str, n: int, seed: int) -> Dict[str, Any]:
     """B1: our pipelines vs greedy coloring and Luby on one instance."""
     g = _family_graph(family, n, seed)
+    luby_set, luby_rounds = luby_mis(g, seed=seed)
     return {
         "chi": clique_number(g),
         "greedy": num_colors(sequential_greedy_coloring(g)),
         "ours_colors": color_chordal_graph(g, epsilon=0.5).num_colors(),
         "alpha": independence_number_chordal(g),
-        "luby": len(luby_mis(g, seed=seed)[0]),
+        "luby": len(luby_set),
+        "luby_rounds": luby_rounds,
         "ours_mis": chordal_mis(g, 0.45).size(),
     }
 

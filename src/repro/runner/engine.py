@@ -186,7 +186,10 @@ def run_cells(
         if on_result:
             on_result(result)
 
-    if jobs == 1 or len(pending) <= 1:
+    # jobs > 1 must route even a single pending cell through the pool:
+    # running it in-process would let a hard crash (segfault, os._exit)
+    # kill the whole sweep instead of settling a `failed` envelope.
+    if jobs == 1 or not pending:
         for index, key in pending:
             spec = specs[index]
             settle(index, key, execute_cell(spec.experiment, spec.fn, spec.params, timeout))

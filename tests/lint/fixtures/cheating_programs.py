@@ -1,6 +1,6 @@
 """Deliberately nonconforming node programs -- the linter's crash-test dummies.
 
-Every class here violates exactly one of the L1-L5 conformance rules (see
+Every class here violates exactly one of the L1-L6 conformance rules (see
 :mod:`repro.lint.rules`).  The static analyzer must flag each violation
 with its file and line; the runtime-detectable ones (L4/L5) must also blow
 up under sealed execution (``SyncNetwork(..., sealed=True)``) while running
@@ -100,4 +100,27 @@ class ContextTamperProgram(NodeProgram):
         ctx.round_number = 0
         self.done = True
         self.output = ctx.round_number
+        return {}
+
+
+class SilentCountdownProgram(NodeProgram):
+    """L6: counts rounds in silence without declaring ``always_active``.
+
+    After the round-0 hello nobody sends anything, so the active-set
+    scheduler stops stepping everyone while ``done`` is still False --
+    the run starves instead of reaching the budget.  The dense reference
+    scheduler (and declaring ``always_active = True``) completes it.
+    """
+
+    def __init__(self, node: Vertex, neighbors: List[Vertex], budget: int = 5):
+        super().__init__(node, neighbors)
+        self.budget = budget
+
+    def step(self, ctx: NodeContext) -> Mapping[Vertex, object]:
+        if ctx.round_number >= self.budget:
+            self.done = True
+            self.output = ctx.round_number
+            return {}
+        if ctx.round_number == 0:
+            return self.broadcast(("hello", self.node))
         return {}

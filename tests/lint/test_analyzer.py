@@ -32,6 +32,7 @@ class TestL1GlobalState:
         src = """
             from repro.graphs.adjacency import Graph
             class P(NodeProgram):
+                always_active = True
                 def step(self, ctx):
                     return {u: Graph() for u in self.neighbors}
         """
@@ -41,6 +42,7 @@ class TestL1GlobalState:
         src = """
             from repro.localmodel.network import NodeProgram, SyncNetwork
             class P(NodeProgram):
+                always_active = True
                 def step(self, ctx):
                     self.net = SyncNetwork
                     return {}
@@ -51,6 +53,7 @@ class TestL1GlobalState:
         src = """
             from repro.graphs.adjacency import Graph, Vertex
             class P(NodeProgram):
+                always_active = True
                 def step(self, ctx):
                     v = Vertex
                     return {}
@@ -61,6 +64,7 @@ class TestL1GlobalState:
         src = """
             from repro.graphs.adjacency import Graph
             class P(NodeProgram):
+                always_active = True
                 def step(self, ctx):
                     return {}
             def harness():
@@ -74,6 +78,7 @@ class TestL2SharedState:
         src = """
             CACHE = {}
             class P(NodeProgram):
+                always_active = True
                 def step(self, ctx):
                     CACHE[self.node] = 1
                     return {}
@@ -84,6 +89,7 @@ class TestL2SharedState:
         src = """
             TABLE = {1: "a"}
             class P(NodeProgram):
+                always_active = True
                 def step(self, ctx):
                     self.output = len(TABLE)
                     return {}
@@ -93,6 +99,7 @@ class TestL2SharedState:
     def test_global_statement(self):
         src = """
             class P(NodeProgram):
+                always_active = True
                 def step(self, ctx):
                     global counter
                     counter = 1
@@ -103,6 +110,7 @@ class TestL2SharedState:
     def test_instance_state_is_fine(self):
         src = """
             class P(NodeProgram):
+                always_active = True
                 def __init__(self, node, neighbors):
                     super().__init__(node, neighbors)
                     self.seen = []
@@ -118,6 +126,7 @@ class TestL3Nondeterminism:
         src = """
             from random import randrange
             class P(NodeProgram):
+                always_active = True
                 def step(self, ctx):
                     self.output = randrange(10)
                     return {}
@@ -127,6 +136,7 @@ class TestL3Nondeterminism:
     def test_hash_builtin(self):
         src = """
             class P(NodeProgram):
+                always_active = True
                 def step(self, ctx):
                     self.output = hash(str(self.node))
                     return {}
@@ -137,6 +147,7 @@ class TestL3Nondeterminism:
         src = """
             import random
             class P(NodeProgram):
+                always_active = True
                 def __init__(self, node, neighbors, rng: random.Random):
                     super().__init__(node, neighbors)
                     self.rng = rng
@@ -150,6 +161,7 @@ class TestL3Nondeterminism:
         src = """
             import time
             class P(NodeProgram):
+                always_active = True
                 def step(self, ctx):
                     self.output = time.monotonic()
                     return {}
@@ -161,6 +173,7 @@ class TestL4InboxKeys:
     def test_constant_key(self):
         src = """
             class P(NodeProgram):
+                always_active = True
                 def step(self, ctx):
                     return {0: ctx.inbox[3]}
         """
@@ -169,6 +182,7 @@ class TestL4InboxKeys:
     def test_membership_probe(self):
         src = """
             class P(NodeProgram):
+                always_active = True
                 def step(self, ctx):
                     if self.spy in ctx.inbox:
                         self.output = True
@@ -179,6 +193,7 @@ class TestL4InboxKeys:
     def test_neighbor_loop_key_is_fine(self):
         src = """
             class P(NodeProgram):
+                always_active = True
                 def step(self, ctx):
                     total = 0
                     for u in self.neighbors:
@@ -193,6 +208,7 @@ class TestL4InboxKeys:
     def test_items_iteration_is_fine(self):
         src = """
             class P(NodeProgram):
+                always_active = True
                 def step(self, ctx):
                     best = max((m for _, m in ctx.inbox.items()), default=None)
                     self.output = best
@@ -205,6 +221,7 @@ class TestL5Mutation:
     def test_ctx_attribute_assignment(self):
         src = """
             class P(NodeProgram):
+                always_active = True
                 def step(self, ctx):
                     ctx.neighbors = []
                     return {}
@@ -214,6 +231,7 @@ class TestL5Mutation:
     def test_inbox_pop(self):
         src = """
             class P(NodeProgram):
+                always_active = True
                 def step(self, ctx):
                     for u in ctx.inbox.keys():
                         ctx.inbox.pop(u)
@@ -224,6 +242,7 @@ class TestL5Mutation:
     def test_mutating_received_message(self):
         src = """
             class P(NodeProgram):
+                always_active = True
                 def step(self, ctx):
                     for u, msg in ctx.inbox.items():
                         msg.update(stolen=True)
@@ -234,6 +253,7 @@ class TestL5Mutation:
     def test_copied_message_may_be_mutated(self):
         src = """
             class P(NodeProgram):
+                always_active = True
                 def step(self, ctx):
                     merged = {}
                     for u, msg in ctx.inbox.items():
@@ -248,6 +268,7 @@ class TestL5Mutation:
         # regression: `own[u] = msg` must not taint `own` as a message
         src = """
             class P(NodeProgram):
+                always_active = True
                 def step(self, ctx):
                     own = {}
                     for u, msg in ctx.inbox.items():
@@ -258,11 +279,107 @@ class TestL5Mutation:
         assert rules_of(src) == []
 
 
+class TestL6Starvation:
+    def test_silent_actor_without_declaration_fires(self):
+        src = """
+            class P(NodeProgram):
+                def step(self, ctx):
+                    if ctx.round_number >= self.budget:
+                        self.done = True
+                        return {}
+                    return self.broadcast(self.best)
+        """
+        findings = lint(src)
+        assert rules_of(src) == ["L6"]
+        assert findings[0].symbol == "P.step"
+
+    def test_declaring_true_silences(self):
+        src = """
+            class P(NodeProgram):
+                always_active = True
+                def step(self, ctx):
+                    if ctx.round_number >= self.budget:
+                        self.done = True
+                        return {}
+                    return self.broadcast(self.best)
+        """
+        assert rules_of(src) == []
+
+    def test_declaring_false_silences(self):
+        # An explicit False is a conscious "purely event-driven" assertion.
+        src = """
+            class P(NodeProgram):
+                always_active = False
+                def step(self, ctx):
+                    if ctx.inbox:
+                        self.done = True
+                        self.output = sum(ctx.inbox.values())
+                    return {}
+        """
+        assert rules_of(src) == []
+
+    def test_wake_next_round_silences(self):
+        src = """
+            class P(NodeProgram):
+                def step(self, ctx):
+                    if ctx.round_number < self.budget:
+                        self.wake_next_round()
+                        return self.broadcast(1)
+                    self.done = True
+                    return {}
+        """
+        assert rules_of(src) == []
+
+    def test_unconditional_done_is_exempt(self):
+        # Finishes on its first step; round 0 schedules every node, so it
+        # can never starve no matter how it reads the inbox.
+        src = """
+            class P(NodeProgram):
+                def step(self, ctx):
+                    self.output = len(ctx.inbox)
+                    self.done = True
+                    return {}
+        """
+        assert rules_of(src) == []
+
+    def test_guarded_done_is_not_exempt(self):
+        src = """
+            class P(NodeProgram):
+                def step(self, ctx):
+                    if ctx.inbox:
+                        self.done = True
+                    return self.broadcast(1)
+        """
+        assert rules_of(src) == ["L6"]
+
+    def test_trivial_step_is_exempt(self):
+        src = """
+            class P(NodeProgram):
+                def step(self, ctx):
+                    return {}
+        """
+        assert rules_of(src) == []
+
+    def test_inherited_declaration_counts(self):
+        src = """
+            class Base(NodeProgram):
+                always_active = True
+            class Leaf(Base):
+                def step(self, ctx):
+                    if ctx.round_number >= 3:
+                        self.done = True
+                        return {}
+                    return self.broadcast(1)
+        """
+        assert rules_of(src) == []
+
+
 class TestSubclassClosure:
     def test_indirect_subclass_is_analyzed(self):
         src = """
             import random
             class Base(NodeProgram):
+                always_active = True
                 def helper(self):
                     return 1
             class Leaf(Base):
@@ -288,6 +405,7 @@ class TestSuppressions:
         src = """
             import random
             class P(NodeProgram):
+                always_active = True
                 def step(self, ctx):
                     self.output = random.random()  # repro-lint: disable=L3
                     return {}
@@ -300,6 +418,7 @@ class TestSuppressions:
         src = """
             import random
             class P(NodeProgram):
+                always_active = True
                 def step(self, ctx):
                     # repro-lint: disable=L3
                     self.output = random.random()
@@ -311,6 +430,7 @@ class TestSuppressions:
         src = """
             import random
             class P(NodeProgram):
+                always_active = True
                 def step(self, ctx):
                     ctx.neighbors = []  # repro-lint: disable=L3
                     return {}
@@ -322,6 +442,7 @@ class TestSuppressions:
             # repro-lint: disable-file=L3
             import random
             class P(NodeProgram):
+                always_active = True
                 def step(self, ctx):
                     self.output = random.random()
                     return {}
@@ -364,6 +485,6 @@ class TestReporting:
 
     def test_normalize_codes(self):
         assert normalize_codes("l1, L3") == frozenset({"L1", "L3"})
-        assert normalize_codes("all") == frozenset({"L1", "L2", "L3", "L4", "L5"})
+        assert normalize_codes("all") == frozenset({"L1", "L2", "L3", "L4", "L5", "L6"})
         with pytest.raises(ValueError):
             normalize_codes("L7")

@@ -26,6 +26,7 @@ from .fixtures.cheating_programs import (
     MessageTamperProgram,
     NosyProgram,
     SharedScratchProgram,
+    SilentCountdownProgram,
 )
 
 
@@ -43,6 +44,7 @@ class TestStaticDetection:
         "L1": "GlobalPeekProgram.step",
         "L3": "CoinFlipProgram.step",
         "L4": "NosyProgram.step",
+        "L6": "SilentCountdownProgram.step",
     }
 
     def test_every_rule_fires_on_the_fixtures(self, cheater_findings):
@@ -52,6 +54,7 @@ class TestStaticDetection:
             "L3",
             "L4",
             "L5",
+            "L6",
         }
 
     @pytest.mark.parametrize("rule,symbol", sorted(EXPECTED.items()))
@@ -82,7 +85,7 @@ class TestStaticDetection:
     def test_cli_text_report_and_exit_code(self, capsys):
         assert lint_main([str(CHEATERS)]) == 1
         out = capsys.readouterr().out
-        for rule in ("L1", "L2", "L3", "L4", "L5"):
+        for rule in ("L1", "L2", "L3", "L4", "L5", "L6"):
             assert rule in out
         assert "cheating_programs.py:" in out
 
@@ -90,7 +93,9 @@ class TestStaticDetection:
         assert lint_main(["--format=json", str(CHEATERS)]) == 1
         report = json.loads(capsys.readouterr().out)
         assert report["summary"]["total"] == len(report["findings"]) > 0
-        assert set(report["summary"]["by_rule"]) == {"L1", "L2", "L3", "L4", "L5"}
+        assert set(report["summary"]["by_rule"]) == {
+            "L1", "L2", "L3", "L4", "L5", "L6",
+        }
         for finding in report["findings"]:
             assert finding["line"] >= 1 and finding["path"].endswith(
                 "cheating_programs.py"
@@ -138,6 +143,18 @@ class TestSealedRuntimeDetection:
         assert set(outputs.values()) == {0}
         with pytest.raises(SealedContextError, match="read-only"):
             _run(ContextTamperProgram, sealed=True)
+
+    def test_l6_starvation_is_real_under_the_active_scheduler(self):
+        # The dynamic counterpart of L6: the flagged fixture genuinely
+        # starves under active-set scheduling (the engine detects it and
+        # raises instead of spinning), while the dense reference
+        # scheduler completes the same program.
+        dense = SyncNetwork(path_graph(4), SilentCountdownProgram, scheduler="dense")
+        outputs = dense.run(max_rounds=10)
+        assert set(outputs.values()) == {5}
+        active = SyncNetwork(path_graph(4), SilentCountdownProgram, scheduler="active")
+        with pytest.raises(RuntimeError, match="starv"):
+            active.run(max_rounds=10)
 
     def test_statically_invisible_cheats_still_run_sealed(self):
         # L1/L2/L3 violations are pure local computation: no runtime guard

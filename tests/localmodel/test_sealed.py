@@ -123,57 +123,78 @@ class TestEngineAliasing:
         assert all(p.neighbors for p in net.programs.values())
 
 
+@pytest.mark.parametrize("scheduler", ["active", "dense"])
 class TestSealingIsBehaviorPreserving:
-    """Acceptance: byte-identical outputs with sealing on vs. off."""
+    """Acceptance: byte-identical outputs with sealing on vs. off.
 
-    def test_bfs_layers(self):
+    Parametrized over the scheduler so all four sealed x scheduler
+    combinations run: sealing must stay behavior-preserving under both
+    the active-set scheduler and the dense reference (the scheduler x
+    scheduler axis is covered by ``test_equivalence.py``).
+    """
+
+    def test_bfs_layers(self, scheduler):
         g = random_chordal_graph(40, seed=3)
-        assert bfs_layers(g, 0) == bfs_layers(g, 0, sealed=True)
-
-    def test_leader_election(self):
-        g = cycle_graph(15)
-        assert elect_leader(g) == elect_leader(g, sealed=True)
-
-    def test_tree_count(self):
-        t = random_tree(30, seed=8)
-        assert tree_count(t, 0) == tree_count(t, 0, sealed=True)
-
-    def test_luby_mis(self):
-        g = random_chordal_graph(35, seed=11)
-        assert luby_mis(g, seed=4) == luby_mis(g, seed=4, sealed=True)
-
-    def test_delta_plus_one_coloring(self):
-        g = random_chordal_graph(30, seed=6)
-        assert distributed_delta_plus_one(g, seed=9) == distributed_delta_plus_one(
-            g, seed=9, sealed=True
+        assert bfs_layers(g, 0, scheduler=scheduler) == bfs_layers(
+            g, 0, sealed=True, scheduler=scheduler
         )
 
-    def test_cole_vishkin_linial(self):
+    def test_leader_election(self, scheduler):
+        g = cycle_graph(15)
+        assert elect_leader(g, scheduler=scheduler) == elect_leader(
+            g, sealed=True, scheduler=scheduler
+        )
+
+    def test_tree_count(self, scheduler):
+        t = random_tree(30, seed=8)
+        assert tree_count(t, 0, scheduler=scheduler) == tree_count(
+            t, 0, sealed=True, scheduler=scheduler
+        )
+
+    def test_luby_mis(self, scheduler):
+        g = random_chordal_graph(35, seed=11)
+        assert luby_mis(g, seed=4, scheduler=scheduler) == luby_mis(
+            g, seed=4, sealed=True, scheduler=scheduler
+        )
+
+    def test_delta_plus_one_coloring(self, scheduler):
+        g = random_chordal_graph(30, seed=6)
+        assert distributed_delta_plus_one(
+            g, seed=9, scheduler=scheduler
+        ) == distributed_delta_plus_one(g, seed=9, sealed=True, scheduler=scheduler)
+
+    def test_cole_vishkin_linial(self, scheduler):
         ids = [17, 3, 29, 0, 12, 8, 41, 5]
         g = Graph(vertices=ids, edges=[(a, b) for a, b in zip(ids, ids[1:])])
         runs = {}
         for sealed in (False, True):
             net = SyncNetwork(
-                g, lambda v, nbrs: LinialPathProgram(v, nbrs, 42), sealed=sealed
+                g,
+                lambda v, nbrs: LinialPathProgram(v, nbrs, 42),
+                sealed=sealed,
+                scheduler=scheduler,
             )
             runs[sealed] = (net.run(), net.stats.rounds, net.stats.messages_sent)
         assert runs[False] == runs[True]
 
-    def test_ball_gathering(self):
+    def test_ball_gathering(self, scheduler):
         g = random_chordal_graph(25, seed=2)
-        plain, rounds_plain = gather_balls(g, 2)
-        sealed, rounds_sealed = gather_balls(g, 2, sealed=True)
+        plain, rounds_plain = gather_balls(g, 2, scheduler=scheduler)
+        sealed, rounds_sealed = gather_balls(g, 2, sealed=True, scheduler=scheduler)
         assert rounds_plain == rounds_sealed
         for v in plain:
             assert plain[v].states == sealed[v].states
             assert plain[v].edges == sealed[v].edges
 
-    def test_traced_network_seals(self):
+    def test_traced_network_seals(self, scheduler):
         from repro.localmodel.programs import LeaderElectionProgram
 
         g = path_graph(6)
         traced = TracedNetwork(
-            g, lambda v, nbrs: LeaderElectionProgram(v, nbrs, len(g)), sealed=True
+            g,
+            lambda v, nbrs: LeaderElectionProgram(v, nbrs, len(g)),
+            sealed=True,
+            scheduler=scheduler,
         )
         outputs = traced.run()
         assert set(outputs.values()) == {0}

@@ -76,6 +76,30 @@ class TestRunCells:
             assert [r.status for r in results] == ["ok", "failed", "ok"]
             assert stats.ok == 2 and stats.failed == 1
 
+    def test_hard_crash_is_isolated_even_for_a_single_pending_cell(self):
+        # Regression: `jobs == 1 or len(pending) <= 1` used to run a lone
+        # pending cell in-process even with jobs > 1, so an os._exit cell
+        # killed the whole sweep (pytest included) instead of settling a
+        # `failed` envelope.
+        specs = [CellSpec("L6", "_exit_cell", {"code": 13})]
+        results, stats = run_cells(specs, jobs=2)
+        assert [r.status for r in results] == ["failed"]
+        assert "worker crashed" in results[0].error
+        assert stats.failed == 1
+
+    def test_hard_crash_mid_sweep_settles_and_neighbors_survive(self):
+        specs = [
+            CellSpec("L6", "l6_cell", {"n": 30, "family": "chordal", "seed": 0}),
+            CellSpec("L6", "_exit_cell", {"code": 13}),
+            CellSpec("L6", "l6_cell", {"n": 50, "family": "chordal", "seed": 0}),
+        ]
+        results, stats = run_cells(specs, jobs=3)
+        statuses = [r.status for r in results]
+        assert statuses[1] == "failed" and "worker crashed" in results[1].error
+        # BrokenProcessPool may take innocent bystanders down with the
+        # crashing worker, but every cell must settle to *some* envelope.
+        assert len(results) == 3 and stats.cells == 3
+
     def test_on_result_sees_every_cell(self):
         specs = plan_cells(["L6"], overrides=SMALL)
         seen = []
@@ -139,3 +163,16 @@ class TestLogsAndBench:
         assert summary["serial"]["wall_seconds"] > 0
         assert summary["parallel"]["cache_hits"] == 0
         assert summary["cached_rerun"]["cache_hit_rate"] == 1.0
+        quiet = summary["scheduler"]["quiet_convergecast"]
+        assert quiet["outputs_identical"] is True
+        assert quiet["speedup_active_over_dense"] > 1.0
+
+    def test_scheduler_bench_compares_identical_outputs(self):
+        from repro.runner import scheduler_bench
+
+        section = scheduler_bench(quiet_n=120, busy_n=60, seed=1)
+        assert set(section) == {"quiet_convergecast", "busy_luby"}
+        for entry in section.values():
+            assert entry["outputs_identical"] is True
+            assert entry["active_seconds"] > 0
+            assert entry["dense_seconds"] > 0

@@ -45,6 +45,7 @@ class TestExtractors:
     def test_cli_subcommands_match_parser(self):
         assert check_docs.cli_subcommands() == [
             "color", "generate", "info", "lint", "mis", "report", "run",
+            "trace",
         ]
 
     def test_package_inventory(self):
@@ -75,6 +76,7 @@ class TestCheck:
         assert "subcommand 'run' is undocumented" in text
         assert "docs/architecture.md: file missing" in text
         assert "docs/runner.md: file missing" in text
+        assert "docs/tracing.md: file missing" in text
         # the one documented subcommand is not flagged
         assert "'info' is undocumented" not in text
 

@@ -188,7 +188,7 @@ class TestLint:
         code, out = run_cli(["lint", str(CHEATERS)])
         assert code == 1
         assert "cheating_programs.py:" in out
-        for rule in ("L1", "L2", "L3", "L4", "L5"):
+        for rule in ("L1", "L2", "L3", "L4", "L5", "L6"):
             assert rule in out
 
     def test_json_format(self):
@@ -198,3 +198,68 @@ class TestLint:
         assert code == 1
         report = json.loads(out)
         assert report["summary"]["total"] > 0
+
+
+class TestTrace:
+    def test_metrics_summary(self, tree_file):
+        code, out = run_cli(["trace", tree_file, "--program", "echo"])
+        assert code == 0
+        assert "echo on 30 vertices (active scheduler)" in out
+        assert "rounds:" in out and "node steps:" in out
+        assert "echo count at root 0: 30" in out
+
+    def test_timeline_flag(self, tree_file):
+        code, out = run_cli(["trace", tree_file, "--program", "bfs", "--timeline"])
+        assert code == 0
+        assert "round 0:" in out and "msgs" in out
+
+    def test_jsonl_export_schema(self, tree_file, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        code, out = run_cli(
+            ["trace", tree_file, "--program", "luby", "--jsonl", str(path)]
+        )
+        assert code == 0
+        assert f"trace written to {path}" in out
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert lines and [l["round"] for l in lines] == list(range(len(lines)))
+        for line in lines:
+            assert set(line) == {
+                "round", "active", "message_count", "messages", "completed",
+            }
+            assert line["message_count"] == len(line["messages"])
+
+    def test_no_payloads_shrinks_the_trace(self, tree_file, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        code, _ = run_cli(
+            ["trace", tree_file, "--program", "gather", "--radius", "2",
+             "--jsonl", str(path), "--no-payloads"]
+        )
+        assert code == 0
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        for line in lines:
+            for message in line["messages"]:
+                assert set(message) == {"from", "to"}
+
+    def test_dense_scheduler_same_trace(self, tree_file, tmp_path):
+        paths = {}
+        for scheduler in ("active", "dense"):
+            paths[scheduler] = tmp_path / f"{scheduler}.jsonl"
+            code, out = run_cli(
+                ["trace", tree_file, "--program", "luby",
+                 "--scheduler", scheduler, "--jsonl", str(paths[scheduler])]
+            )
+            assert code == 0
+            assert f"({scheduler} scheduler)" in out
+        assert paths["active"].read_text() == paths["dense"].read_text()
+
+    def test_sealed_flag(self, tree_file):
+        code, out = run_cli(["trace", tree_file, "--program", "leader", "--sealed"])
+        assert code == 0
+        assert "sealed" in out and "leader: 0" in out
+
+    def test_impossible_workload_aborts_cleanly(self, cycle_file):
+        # echo is a tree convergecast; on a cycle it can never finish --
+        # the starvation fast-fail must surface as a clean exit, not a
+        # traceback (nor a spin to the round budget)
+        with pytest.raises(SystemExit, match="trace aborted"):
+            run_cli(["trace", cycle_file, "--program", "echo"])

@@ -12,7 +12,9 @@ instructions can never silently rot:
   ``python -m repro <cmd>``);
 * ``docs/architecture.md`` must inventory every top-level ``repro``
   subpackage, and ``docs/runner.md`` must exist and name every
-  registered experiment id.
+  registered experiment id;
+* ``docs/tracing.md`` must exist and document the trace-sink surface
+  (``TraceSink``, ``on_round``, the stock sinks, ``repro trace``).
 
 Usage::
 
@@ -155,6 +157,25 @@ def check(root: Path) -> List[str]:
                 problems.append(
                     f"docs/runner.md: registered experiment {experiment_id!r} "
                     "is never mentioned"
+                )
+
+    tracing_doc = root / "docs" / "tracing.md"
+    if not tracing_doc.is_file():
+        problems.append("docs/tracing.md: file missing")
+    else:
+        text = tracing_doc.read_text()
+        for term in (
+            "TraceSink",
+            "on_round",
+            "RecordingSink",
+            "MetricsSink",
+            "JSONLTraceSink",
+            "repro trace",
+        ):
+            if term not in text:
+                problems.append(
+                    f"docs/tracing.md: {term!r} is never mentioned (the "
+                    "trace-sink surface must stay documented)"
                 )
 
     return problems
