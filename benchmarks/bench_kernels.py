@@ -1,0 +1,323 @@
+"""Legacy vs kernel benchmark for the CSR/bitset chordal kernels.
+
+Produces ``BENCH_kernels.json``: for every (family, n, operation) cell the
+legacy implementation and the kernel dispatch are both run, their outputs
+asserted identical, and both wall-clocks recorded.  Three comparators
+appear for LexBFS:
+
+* ``seed``      -- the pre-kernel implementation this PR replaced
+                   (``head.pop(0)`` plus a full rescan of every block per
+                   visited vertex, i.e. O(n^2); reproduced verbatim below
+                   as the baseline),
+* ``reference`` -- the retained ``_reference_*`` label-space
+                   implementation (itself repaired to near-linear in this
+                   PR, so it understates the win),
+* the kernel dispatch through the public API.
+
+Unlike the rest of ``benchmarks/`` this is a standalone script, not a
+pytest-benchmark module, because its artifact is the committed JSON:
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py                  # full sweep
+    PYTHONPATH=src python benchmarks/bench_kernels.py --quick --check  # CI smoke
+
+``--quick`` shrinks the sweep to one medium workload; ``--check`` exits
+nonzero unless every output pair matched and the kernel's total
+wall-clock (index build included) beat the legacy total.
+
+Family scoping mirrors the structure of the inputs, not kernel
+limitations: random k-trees have hub vertices lying in Theta(n) maximal
+cliques, so their weighted clique-intersection graph is superlinearly
+dense and the peeling rows use the bounded-degree interval/path families
+at large n instead.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.coloring.greedy import _reference_peo_greedy_coloring, peo_greedy_coloring
+from repro.coloring.prune import diameter_rule, peel_chordal_graph, peeling_layers
+from repro.graphs import chordal
+from repro.graphs.adjacency import Graph
+from repro.graphs.generators import path_graph, random_k_tree, unit_interval_chain
+from repro.graphs.index import GraphIndex, graph_index
+
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
+
+#: sizes where legacy and kernel are both run and compared
+COMPARE_NS = (1000, 3000, 10000)
+#: sizes where only the kernel can finish in reasonable time
+KERNEL_ONLY_NS = (30000, 100000)
+#: the seed implementation is O(n^2); cap how far it is dragged along
+SEED_LEXBFS_MAX_N = 10000
+#: peeling compared against the rich reference peel at these sizes
+PEEL_COMPARE_NS = (300, 1000)
+PEEL_THRESHOLD = 6
+PEEL_LARGE_THRESHOLD = 12
+
+FAMILIES: Dict[str, Callable[[int], Graph]] = {
+    "ktree3": lambda n: random_k_tree(n, 3, seed=0),
+    "interval": lambda n: unit_interval_chain(n, seed=0),
+    "path": path_graph,
+}
+
+#: families whose clique-intersection graphs stay sparse at large n
+PEEL_LARGE_FAMILIES = ("interval", "path")
+
+
+def seed_lex_bfs(graph: Graph) -> List:
+    """The pre-kernel ``lex_bfs`` body, verbatim, as the seed baseline."""
+    if len(graph) == 0:
+        return []
+    verts = graph.vertices()
+    blocks: List[List] = [list(verts)]
+    order: List = []
+    while blocks:
+        head = blocks[0]
+        v = head.pop(0)
+        if not head:
+            blocks.pop(0)
+        order.append(v)
+        nbrs = graph.neighbors(v)
+        new_blocks: List[List] = []
+        for block in blocks:
+            inside = [u for u in block if u in nbrs]
+            outside = [u for u in block if u not in nbrs]
+            if inside:
+                new_blocks.append(inside)
+            if outside:
+                new_blocks.append(outside)
+        blocks = new_blocks
+    return order
+
+
+def _timed(fn, *args, **kwargs):
+    start = time.perf_counter()
+    out = fn(*args, **kwargs)
+    return out, time.perf_counter() - start
+
+
+def _row(
+    rows: List[dict],
+    family: str,
+    n: int,
+    m: int,
+    op: str,
+    baseline: Optional[str],
+    legacy_seconds: Optional[float],
+    kernel_seconds: float,
+    identical: Optional[bool],
+) -> None:
+    speedup = (
+        round(legacy_seconds / kernel_seconds, 2)
+        if legacy_seconds is not None and kernel_seconds > 0
+        else None
+    )
+    rows.append(
+        {
+            "family": family,
+            "n": n,
+            "m": m,
+            "op": op,
+            "baseline": baseline,
+            "legacy_seconds": (
+                round(legacy_seconds, 6) if legacy_seconds is not None else None
+            ),
+            "kernel_seconds": round(kernel_seconds, 6),
+            "speedup": speedup,
+            "identical": identical,
+        }
+    )
+    tag = f"{family} n={n} {op}"
+    if legacy_seconds is None:
+        print(f"  {tag}: kernel {kernel_seconds:.4f}s")
+    else:
+        print(
+            f"  {tag} [{baseline}]: legacy {legacy_seconds:.4f}s"
+            f" kernel {kernel_seconds:.4f}s ({speedup}x, identical={identical})"
+        )
+
+
+def _compare_cell(rows: List[dict], family: str, g: Graph, seed_baseline: bool) -> None:
+    """Run every op legacy-vs-kernel on one graph, asserting identity."""
+    n = len(g)
+    # the kernel side pays the snapshot build once; time it explicitly so
+    # per-op rows compare algorithm against algorithm
+    _, t_index = _timed(GraphIndex, g)
+    idx = graph_index(g)
+    m = idx.m
+    _row(rows, family, n, m, "index_build", None, None, t_index, None)
+
+    if seed_baseline:
+        seed_order, t_seed = _timed(seed_lex_bfs, g)
+    k_order, t_k = _timed(chordal.lex_bfs, g)
+    ref_order, t_ref = _timed(chordal._reference_lex_bfs, g)
+    assert ref_order == k_order
+    _row(rows, family, n, m, "lexbfs", "reference", t_ref, t_k, ref_order == k_order)
+    if seed_baseline:
+        assert seed_order == k_order
+        _row(rows, family, n, m, "lexbfs", "seed", t_seed, t_k, seed_order == k_order)
+
+    k_mcs, t_k = _timed(chordal.maximum_cardinality_search, g)
+    ref_mcs, t_ref = _timed(chordal._reference_maximum_cardinality_search, g)
+    assert ref_mcs == k_mcs
+    _row(rows, family, n, m, "mcs", "reference", t_ref, t_k, ref_mcs == k_mcs)
+
+    peo = list(reversed(k_order))
+    k_bad, t_k = _timed(chordal.check_peo, g, peo)
+    ref_bad, t_ref = _timed(chordal._reference_check_peo, g, peo)
+    assert ref_bad == k_bad is None
+    _row(rows, family, n, m, "peo_check", "reference", t_ref, t_k, ref_bad == k_bad)
+
+    k_cl, t_k = _timed(chordal.maximal_cliques, g)
+    ref_cl, t_ref = _timed(chordal._reference_maximal_cliques, g)
+    assert ref_cl == k_cl
+    _row(
+        rows, family, n, m, "maximal_cliques", "reference", t_ref, t_k, ref_cl == k_cl
+    )
+
+    k_col, t_k = _timed(peo_greedy_coloring, g)
+    ref_col, t_ref = _timed(_reference_peo_greedy_coloring, g)
+    assert list(ref_col.items()) == list(k_col.items())
+    _row(rows, family, n, m, "coloring", "reference", t_ref, t_k, ref_col == k_col)
+
+    k_simp, t_k = _timed(chordal.simplicial_vertices, g)
+    ref_simp, t_ref = _timed(chordal._reference_simplicial_vertices, g)
+    assert ref_simp == k_simp
+    _row(rows, family, n, m, "simplicial", "reference", t_ref, t_k, ref_simp == k_simp)
+
+
+def _peel_compare_cell(
+    rows: List[dict], family: str, g: Graph, threshold: int
+) -> None:
+    n, m = len(g), g.num_edges()
+    fast, t_k = _timed(peeling_layers, g, threshold)
+    rich, t_ref = _timed(peel_chordal_graph, g, diameter_rule(threshold))
+    same = fast.exhausted == rich.exhausted and fast.num_layers() == rich.num_layers()
+    for i in range(1, fast.num_layers() + 1):
+        same = same and fast.nodes_of_layer(i) == rich.nodes_of_layer(i)
+    assert same
+    _row(rows, family, n, m, f"peeling(t={threshold})", "reference", t_ref, t_k, same)
+
+
+def _kernel_only_cell(rows: List[dict], family: str, g: Graph) -> None:
+    from repro.graphs import kernels
+
+    n = len(g)
+    _, t_index = _timed(GraphIndex, g)
+    idx = graph_index(g)
+    m = idx.m
+    _row(rows, family, n, m, "index_build", None, None, t_index, None)
+    order, t = _timed(kernels.lexbfs, idx)
+    _row(rows, family, n, m, "lexbfs", None, None, t, None)
+    _, t = _timed(kernels.mcs, idx)
+    _row(rows, family, n, m, "mcs", None, None, t, None)
+    peo = list(reversed(order))
+    bad, t = _timed(kernels.check_peo, idx, peo)
+    assert bad is None
+    _row(rows, family, n, m, "peo_check", None, None, t, None)
+    cliques, t = _timed(kernels.maximal_cliques_from_peo, idx, peo)
+    _row(rows, family, n, m, "maximal_cliques", None, None, t, None)
+    _, t = _timed(kernels.greedy_coloring, idx, peo)
+    _row(rows, family, n, m, "coloring", None, None, t, None)
+    _, t = _timed(kernels.simplicial_vertex_ids, idx)
+    _row(rows, family, n, m, "simplicial", None, None, t, None)
+    if family in PEEL_LARGE_FAMILIES:
+        (layers, _), t = _timed(
+            kernels.peeling_layers, idx, PEEL_LARGE_THRESHOLD, order=peo
+        )
+        _row(
+            rows, family, n, m, f"peeling(t={PEEL_LARGE_THRESHOLD})", None, None, t, None
+        )
+
+
+def run(quick: bool) -> dict:
+    rows: List[dict] = []
+    compare_ns = (2000,) if quick else COMPARE_NS
+    peel_ns = (400,) if quick else PEEL_COMPARE_NS
+    peel_threshold = 4 if quick else PEEL_THRESHOLD
+    families = ("ktree3", "interval") if quick else tuple(FAMILIES)
+
+    for family in families:
+        build = FAMILIES[family]
+        for n in compare_ns:
+            print(f"== compare {family} n={n}")
+            _compare_cell(rows, family, build(n), n <= SEED_LEXBFS_MAX_N)
+        for n in peel_ns:
+            _peel_compare_cell(rows, family, build(n), peel_threshold)
+        if not quick:
+            for n in KERNEL_ONLY_NS:
+                print(f"== kernel-only {family} n={n}")
+                _kernel_only_cell(rows, family, build(n))
+
+    compared = [r for r in rows if r["baseline"] is not None]
+    legacy_total = sum(r["legacy_seconds"] for r in compared)
+    kernel_total = sum(r["kernel_seconds"] for r in rows)
+
+    def _best(op: str, baseline: str) -> Optional[float]:
+        cells = [
+            r["speedup"]
+            for r in compared
+            if r["op"] == op and r["baseline"] == baseline and r["n"] >= 10000
+        ]
+        return max(cells) if cells else None
+
+    return {
+        "benchmark": "repro.graphs.kernels",
+        "quick": quick,
+        "rows": rows,
+        "all_outputs_identical": all(r["identical"] for r in compared),
+        "legacy_total_seconds": round(legacy_total, 3),
+        "kernel_total_seconds": round(kernel_total, 3),
+        "acceptance": {
+            "lexbfs_speedup_vs_seed_at_1e4": _best("lexbfs", "seed"),
+            "lexbfs_speedup_vs_reference_at_1e4": _best("lexbfs", "reference"),
+            "maximal_cliques_speedup_at_1e4": _best("maximal_cliques", "reference"),
+        },
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI-sized workload")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit nonzero unless outputs matched and the kernel total won",
+    )
+    parser.add_argument("--out", type=Path, default=None, help="JSON output path")
+    args = parser.parse_args(argv)
+
+    payload = run(quick=args.quick)
+    print(
+        f"legacy total {payload['legacy_total_seconds']}s,"
+        f" kernel total {payload['kernel_total_seconds']}s"
+    )
+
+    if args.check:
+        if not payload["all_outputs_identical"]:
+            print("FAIL: kernel output diverged from legacy output")
+            return 1
+        if payload["kernel_total_seconds"] > payload["legacy_total_seconds"]:
+            print("FAIL: kernel total wall-clock did not beat legacy")
+            return 1
+        print("check passed: outputs identical, kernel total beat legacy")
+
+    out = args.out
+    if out is None and not args.quick:
+        out = OUT_PATH
+    if out is not None:
+        out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

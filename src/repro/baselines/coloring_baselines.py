@@ -39,7 +39,7 @@ def sequential_greedy_coloring(
     """
     coloring: Dict[Vertex, Color] = {}
     for v in order if order is not None else graph.vertices():
-        used = {coloring[u] for u in graph.neighbors(v) if u in coloring}
+        used = {coloring[u] for u in graph.neighbors_view(v) if u in coloring}
         c = 1
         while c in used:
             c += 1

@@ -31,6 +31,7 @@ __all__ = [
     "path_vertices",
     "nodes_with_subtree_in",
     "path_diameter",
+    "path_diameter_at_least",
     "path_independence_number",
     "greedy_path_mis",
 ]
@@ -200,6 +201,46 @@ def path_diameter(graph: Graph, path: Sequence[Clique]) -> int:
                 raise ValueError("path cliques are not mutually reachable in graph")
             best = max(best, dist[t])
     return best
+
+
+def path_diameter_at_least(
+    graph: Graph, path: Sequence[Clique], threshold: int
+) -> bool:
+    """Whether ``path_diameter(graph, path) >= threshold``, decided early.
+
+    One BFS bounds the diameter within [ecc, 2 * ecc] (triangle
+    inequality), so a single source already settles the decision unless
+    the threshold falls in the gray zone — only then does the all-sources
+    scan run, and it stops at the first distance reaching the threshold.
+    Every BFS is depth-capped at ``threshold``: the decision never needs
+    distances beyond it, so each search explores only the radius-t ball
+    of its source rather than the whole component.  A vertex not reached
+    within the cap has distance > threshold and settles the decision as
+    ``True`` — this covers disconnection too (distance infinity), where
+    :func:`path_diameter` would raise; during real peeling that case
+    cannot arise because consecutive path cliques intersect.  This is
+    what :func:`repro.coloring.prune.diameter_rule` calls: the peeling
+    process only ever needs the comparison, never the exact diameter.
+    """
+    verts = sorted(path_vertices(path))
+    if not verts:
+        return 0 >= threshold
+    dist = graph.bfs_distances(verts[0], cutoff=threshold)
+    ecc = 0
+    for t in verts:
+        if t not in dist:
+            return True
+        ecc = max(ecc, dist[t])
+    if ecc >= threshold:
+        return True
+    if 2 * ecc < threshold:
+        return False
+    for s in verts[1:]:
+        dist = graph.bfs_distances(s, cutoff=threshold)
+        for t in verts:
+            if t not in dist or dist[t] >= threshold:
+                return True
+    return False
 
 
 def greedy_path_mis(path: Sequence[Clique]) -> Set[Vertex]:

@@ -50,7 +50,31 @@ def edge_key(c1: Clique, c2: Clique) -> Tuple[int, Tuple[Vertex, ...], Tuple[Ver
 
 
 def wcig_edges_among(cliques: Sequence[Clique]) -> List[WeightedEdge]:
-    """All W_G edges among the given cliques (pairs with nonempty intersection)."""
+    """All W_G edges among the given cliques (pairs with nonempty intersection).
+
+    Output-sensitive: walks each vertex's clique-incidence list and counts
+    shared members per clique pair, so the cost is the total intersection
+    weight rather than the O(q^2) all-pairs scan (retained as
+    :func:`_reference_wcig_edges_among`).  The result lists pairs in
+    ascending index order — exactly the reference's enumeration order.
+    """
+    incidence: Dict[Vertex, List[int]] = {}
+    weights: Dict[Tuple[int, int], int] = {}
+    for ci, c in enumerate(cliques):
+        for v in c:
+            lst = incidence.get(v)
+            if lst is None:
+                incidence[v] = [ci]
+            else:
+                for cj in lst:
+                    key = (cj, ci)
+                    weights[key] = weights.get(key, 0) + 1
+                lst.append(ci)
+    return [(cliques[i], cliques[j], w) for (i, j), w in sorted(weights.items())]
+
+
+def _reference_wcig_edges_among(cliques: Sequence[Clique]) -> List[WeightedEdge]:
+    """Label-space all-pairs reference for :func:`wcig_edges_among`."""
     edges: List[WeightedEdge] = []
     for i, c1 in enumerate(cliques):
         for c2 in cliques[i + 1:]:

@@ -35,7 +35,14 @@ from .parameters import (
     morph_cut_budget,
     required_morph_distance,
 )
-from .prune import PeeledPath, Peeling, diameter_rule, peel_chordal_graph
+from .prune import (
+    PeeledPath,
+    Peeling,
+    PeelingLayers,
+    diameter_rule,
+    peel_chordal_graph,
+    peeling_layers,
+)
 
 __all__ = [
     "ChordalColoringResult",
@@ -61,6 +68,8 @@ __all__ = [
     "required_morph_distance",
     "PeeledPath",
     "Peeling",
+    "PeelingLayers",
     "diameter_rule",
     "peel_chordal_graph",
+    "peeling_layers",
 ]

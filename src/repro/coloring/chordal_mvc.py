@@ -129,7 +129,7 @@ def conflict_boundary(
     """W': higher-layer neighbors of the path's node set (Lemma 11)."""
     w_prime: Set[Vertex] = set()
     for v in peeled.nodes:
-        for u in graph.neighbors(v):
+        for u in graph.neighbors_view(v):
             if peeling.layer_of.get(u, math.inf) > peeled.layer:
                 w_prime.add(u)
     return w_prime

@@ -139,7 +139,7 @@ def extend_path_coloring(
     fixed_right = dict(fixed_right or {})
     for boundary in (fixed_left, fixed_right):
         for v, c in boundary.items():
-            for u in graph.neighbors(v):
+            for u in graph.neighbors_view(v):
                 if boundary.get(u) == c:
                     raise ValueError(
                         f"fixed boundary is improper: {u!r} and {v!r} share {c!r}"

@@ -26,23 +26,40 @@ from ..cliquetree.paths import (
     ForestPath,
     maximal_binary_paths,
     nodes_with_subtree_in,
-    path_diameter,
+    path_diameter_at_least,
 )
+from ..graphs import kernels
 from ..graphs.adjacency import Graph, Vertex
+from ..graphs.chordal import _not_chordal
+from ..graphs.index import graph_index
 from .decomposition import PathBags
 
-__all__ = ["PeeledPath", "Peeling", "peel_chordal_graph", "diameter_rule"]
+__all__ = [
+    "PeeledPath",
+    "Peeling",
+    "PeelingLayers",
+    "peel_chordal_graph",
+    "peeling_layers",
+    "diameter_rule",
+]
 
 #: Decides whether a maximal *internal* path is peeled this iteration.
 InternalRule = Callable[[Graph, ForestPath], bool]
 
 
 def diameter_rule(threshold: int) -> InternalRule:
-    """The coloring rule: internal paths of diameter >= threshold (3k)."""
+    """The coloring rule: internal paths of diameter >= threshold (3k).
+
+    The returned rule decides the comparison without computing the exact
+    diameter (:func:`~repro.cliquetree.paths.path_diameter_at_least`), and
+    carries the threshold as a ``threshold`` attribute so layer-only
+    callers can recognize it and take the :func:`peeling_layers` fast path.
+    """
 
     def rule(graph: Graph, path: ForestPath) -> bool:
-        return path_diameter(graph, path.cliques) >= threshold
+        return path_diameter_at_least(graph, path.cliques, threshold)
 
+    rule.threshold = threshold  # type: ignore[attr-defined]
     return rule
 
 
@@ -96,6 +113,74 @@ class Peeling:
         return {v for v in self._all_nodes if v not in assigned}
 
     _all_nodes: Set[Vertex] = field(default_factory=set)
+
+
+@dataclass(frozen=True)
+class PeelingLayers:
+    """The layer map of the peeling process (kernel fast path).
+
+    The lightweight answer to "which vertex lands in which layer": exactly
+    what Lemma 6's round/locality accounting needs, without materializing
+    per-path boundary cliques, forests, or induced subgraphs.  For every
+    chordal graph and diameter threshold,
+    ``peeling_layers(g, t).layers[i]`` equals
+    ``sorted(peel_chordal_graph(g, diameter_rule(t)).nodes_of_layer(i + 1))``
+    and the ``exhausted`` flags agree — pinned by the equivalence suite.
+    """
+
+    #: layer i (0-based here; the paper's V_{i+1}) as a sorted vertex list
+    layers: Tuple[Tuple[Vertex, ...], ...]
+    #: True when the peeling ran the forest to empty (see :class:`Peeling`)
+    exhausted: bool
+
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+    def nodes_of_layer(self, i: int) -> Set[Vertex]:
+        """All nodes of layer i (1-based, like the paper and :class:`Peeling`)."""
+        return set(self.layers[i - 1])
+
+    def layer_of(self) -> Dict[Vertex, int]:
+        """vertex -> 1-based layer index, for every peeled vertex."""
+        out: Dict[Vertex, int] = {}
+        for i, layer in enumerate(self.layers, start=1):
+            for v in layer:
+                out[v] = i
+        return out
+
+
+def peeling_layers(
+    graph: Graph,
+    threshold: int,
+    max_iterations: Optional[int] = None,
+    last_threshold: Optional[int] = None,
+) -> PeelingLayers:
+    """Layer map of ``peel_chordal_graph(graph, diameter_rule(threshold))``.
+
+    Runs entirely in the integer kernels
+    (:func:`repro.graphs.kernels.peeling_layers`): canonical clique forest
+    via the Blair-Peyton clique kernel and incidence-counted W_G edges,
+    per-iteration path decisions with early-exit diameter bounds.  When
+    ``max_iterations`` is given the process stops after that many layers,
+    optionally switching to ``last_threshold`` for the final iteration
+    (the Algorithm 6 shape).  Raises
+    :class:`~repro.graphs.chordal.NotChordalError` on non-chordal input.
+    """
+    index = graph_index(graph)
+    order, bad = kernels.peo_and_violation(index)
+    if bad is not None:
+        raise _not_chordal(index.verts[bad])
+    id_layers, exhausted = kernels.peeling_layers(
+        index,
+        threshold,
+        max_iterations=max_iterations,
+        last_threshold=last_threshold,
+        order=order,
+    )
+    return PeelingLayers(
+        layers=tuple(tuple(index.labels_of(layer)) for layer in id_layers),
+        exhausted=exhausted,
+    )
 
 
 def peel_chordal_graph(

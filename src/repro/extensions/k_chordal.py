@@ -59,7 +59,7 @@ def longest_induced_cycle(graph: Graph, cap: int = 12) -> int:
     def extend(path: List[Vertex], members: Set[Vertex]) -> None:
         nonlocal best
         head, tail = path[-1], path[0]
-        for nxt in sorted(graph.neighbors(head)):
+        for nxt in sorted(graph.neighbors_view(head)):
             if nxt in members:
                 continue
             if index[nxt] < index[tail]:
@@ -73,7 +73,7 @@ def longest_induced_cycle(graph: Graph, cap: int = 12) -> int:
                 path.pop()
                 continue
             inner = members - {head, tail}
-            if graph.neighbors(nxt) & inner:
+            if graph.neighbors_view(nxt) & inner:
                 continue  # chord to the middle: not induced
             if graph.has_edge(nxt, tail):
                 # closes an induced cycle path[0] .. head, nxt

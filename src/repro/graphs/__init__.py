@@ -8,6 +8,8 @@ everything the algorithm layers build on:
   the maximal cliques of chordal graphs (:mod:`repro.graphs.chordal`),
 * interval representations, dominated-vertex removal and proper interval
   orders (:mod:`repro.graphs.interval`),
+* the int-indexed snapshot + O(n + m) kernels behind the chordal machinery
+  (:mod:`repro.graphs.index`, :mod:`repro.graphs.kernels`),
 * deterministic and seeded-random generators (:mod:`repro.graphs.generators`),
 * the 23-node worked example of the paper's Figures 1-6
   (:mod:`repro.graphs.examples`),
@@ -58,6 +60,7 @@ from .generators import (
     star_graph,
     unit_interval_chain,
 )
+from .index import GraphIndex, graph_index
 from .io import (
     dump_json,
     from_dict,
@@ -145,6 +148,9 @@ __all__ = [
     "random_tree",
     "star_graph",
     "unit_interval_chain",
+    # index / kernels substrate
+    "GraphIndex",
+    "graph_index",
     # io
     "dump_json",
     "from_dict",

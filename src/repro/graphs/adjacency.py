@@ -29,10 +29,22 @@ class Graph:
     :meth:`add_edge`, :meth:`remove_vertex`), and hands out defensive copies
     or read-only views from all query methods, so algorithm code can never
     corrupt a caller's graph by accident.
+
+    Every mutation bumps :attr:`version`, which is what lets derived
+    snapshots — the cached sorted vertex list here and the int-indexed
+    :class:`~repro.graphs.index.GraphIndex` — invalidate themselves
+    instead of being recomputed per query.  Hot algorithm loops inside the
+    library read adjacency through :meth:`neighbors_view` (a documented
+    read-only alias of the internal set); external callers keep the
+    defensively-copying :meth:`neighbors`.
     """
 
     def __init__(self, vertices: Iterable[Vertex] = (), edges: Iterable[Edge] = ()):
         self._adj: Dict[Vertex, Set[Vertex]] = {}
+        #: monotonically increasing mutation counter (see class docstring)
+        self.version: int = 0
+        self._sorted_cache: Optional[Tuple[int, List[Vertex]]] = None
+        self._index_cache: Optional[Tuple[int, object]] = None
         for v in vertices:
             self.add_vertex(v)
         for u, v in edges:
@@ -45,6 +57,7 @@ class Graph:
         """Add vertex ``v``; adding an existing vertex is a no-op."""
         if v not in self._adj:
             self._adj[v] = set()
+            self.version += 1
 
     def add_edge(self, u: Vertex, v: Vertex) -> None:
         """Add edge ``uv``, creating endpoints as needed.
@@ -58,6 +71,7 @@ class Graph:
         self.add_vertex(v)
         self._adj[u].add(v)
         self._adj[v].add(u)
+        self.version += 1
 
     def add_clique(self, members: Iterable[Vertex]) -> None:
         """Add all vertices in ``members`` and every edge between them."""
@@ -73,6 +87,7 @@ class Graph:
         """Remove ``v`` and all incident edges; missing vertices raise ``KeyError``."""
         for u in self._adj.pop(v):
             self._adj[u].discard(v)
+        self.version += 1
 
     def remove_vertices(self, vs: Iterable[Vertex]) -> None:
         for v in list(vs):
@@ -81,10 +96,12 @@ class Graph:
     def remove_edge(self, u: Vertex, v: Vertex) -> None:
         self._adj[u].remove(v)
         self._adj[v].remove(u)
+        self.version += 1
 
     def copy(self) -> "Graph":
         g = Graph()
         g._adj = {v: set(nbrs) for v, nbrs in self._adj.items()}
+        g.version = 1
         return g
 
     # ------------------------------------------------------------------
@@ -114,8 +131,16 @@ class Graph:
         return sum(len(nbrs) for nbrs in self._adj.values()) // 2
 
     def vertices(self) -> List[Vertex]:
-        """All vertices in sorted order (stable across runs)."""
-        return sorted(self._adj)
+        """All vertices in sorted order (stable across runs).
+
+        The sorted list is cached against :attr:`version`; callers get a
+        fresh copy each time, so mutating the returned list is safe.
+        """
+        cached = self._sorted_cache
+        if cached is None or cached[0] != self.version:
+            cached = (self.version, sorted(self._adj))
+            self._sorted_cache = cached
+        return list(cached[1])
 
     def edges(self) -> List[Edge]:
         """All edges, each as a sorted pair, in sorted order."""
@@ -132,6 +157,21 @@ class Graph:
     def neighbors(self, v: Vertex) -> Set[Vertex]:
         """Open neighborhood Gamma_G(v) (a fresh set)."""
         return set(self._adj[v])
+
+    def neighbors_view(self, v: Vertex) -> FrozenSet[Vertex]:
+        """Open neighborhood Gamma_G(v) as a READ-ONLY view (no copy).
+
+        This is the internal adjacency set itself, typed as frozen to make
+        the contract explicit: callers must not mutate it, and must not
+        hold it across mutations of the graph.  Hot loops (LexBFS, greedy
+        colorings, brute-force oracles) use this to avoid the per-call set
+        copy of :meth:`neighbors`.
+        """
+        return self._adj[v]  # type: ignore[return-value]
+
+    def iter_neighbors(self, v: Vertex) -> Iterator[Vertex]:
+        """Iterate Gamma_G(v) without allocating (unspecified order)."""
+        return iter(self._adj[v])
 
     def closed_neighborhood(self, v: Vertex) -> Set[Vertex]:
         """Closed neighborhood Gamma_G[v] = Gamma_G(v) + {v}."""

@@ -55,7 +55,7 @@ def brute_force_maximum_independent_set(
                 best = set(current)
             return
         v = remaining[0]
-        nbrs = graph.neighbors(v)
+        nbrs = graph.neighbors_view(v)
         # Branch 1: take v.
         search([u for u in remaining[1:] if u not in nbrs], current | {v})
         # Branch 2: skip v (only useful if some neighbor could beat it).
@@ -88,7 +88,7 @@ def brute_force_optimal_coloring(
             if i == len(verts):
                 return True
             v = verts[i]
-            used = {coloring[u] for u in graph.neighbors(v) if u in coloring}
+            used = {coloring[u] for u in graph.neighbors_view(v) if u in coloring}
             # Symmetry breaking: never open more than one new color.
             opened = max(coloring.values(), default=0)
             for color in range(1, min(opened + 1, c) + 1):

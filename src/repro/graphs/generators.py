@@ -331,7 +331,7 @@ def _is_connected_in(tree: Graph, nodes: Set[int]) -> bool:
     stack = [start]
     while stack:
         u = stack.pop()
-        for v in tree.neighbors(u):
+        for v in tree.neighbors_view(u):
             if v in nodes and v not in seen:
                 seen.add(v)
                 stack.append(v)

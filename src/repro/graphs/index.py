@@ -1,0 +1,131 @@
+"""Int-indexed immutable snapshots of a :class:`~repro.graphs.adjacency.Graph`.
+
+The algorithm kernels (:mod:`repro.graphs.kernels`) do not want hashable
+vertex labels, per-call set copies, or dict lookups in their inner loops —
+they want dense integer ids, CSR adjacency arrays, and big-int bitset rows.
+:class:`GraphIndex` is that snapshot:
+
+* ``verts[i]`` is the vertex with id ``i``; ids are assigned in **sorted
+  vertex order**, so the id order is order-isomorphic to the label order
+  (``i < j  iff  verts[i] < verts[j]``).  Every deterministic tie-break in
+  the library compares vertex labels, so kernels can compare plain ints
+  and produce byte-identical answers.
+* ``vid[v]`` maps a label back to its id.
+* ``indptr`` / ``indices`` are the usual CSR pair: the neighbors of id
+  ``i`` are ``indices[indptr[i]:indptr[i + 1]]``, sorted ascending.
+* ``nbr_bits[i]`` is the open neighborhood as a Python big-int bitset
+  (bit ``j`` set iff ``ij`` is an edge) — ``&``/``|``/``~`` run at C speed
+  over 64-bit words, which is what makes clique and subset tests cheap.
+  The bitset table is built **lazily** on first access: a row costs
+  O(n / 64) words, so the whole table is O(n * m / 64) time and O(n^2 / 8)
+  bytes — a clear win up to a few thousand vertices and a clear loss at
+  n = 10^5, which is why the kernels consult it only below a size cutoff
+  (see ``repro.graphs.kernels._BITSET_N_LIMIT``) and the CSR arrays carry
+  everything else.
+
+Snapshots are **immutable** and cached on the graph keyed by its mutation
+:attr:`~repro.graphs.adjacency.Graph.version`: :func:`graph_index` returns
+the same object until the graph mutates, after which the next call builds
+a fresh snapshot.  Building costs O(n log n + m); every kernel that runs
+on the snapshot afterwards is O(n + m)-ish, so amortization over even two
+queries already wins.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .adjacency import Graph, Vertex
+
+__all__ = ["GraphIndex", "graph_index"]
+
+
+class GraphIndex:
+    """An immutable CSR + bitset snapshot of a graph (see module docstring)."""
+
+    __slots__ = ("verts", "vid", "indptr", "indices", "n", "m", "_nbr_bits")
+
+    def __init__(self, graph: Graph):
+        verts: List[Vertex] = graph.vertices()
+        n = len(verts)
+        vid: Dict[Vertex, int] = {v: i for i, v in enumerate(verts)}
+        indptr: List[int] = [0] * (n + 1)
+        indices: List[int] = []
+        extend = indices.extend
+        for i, v in enumerate(verts):
+            extend(sorted(vid[u] for u in graph.neighbors_view(v)))
+            indptr[i + 1] = len(indices)
+        self.verts: Tuple[Vertex, ...] = tuple(verts)
+        self.vid = vid
+        self.indptr = indptr
+        self.indices = indices
+        self.n = n
+        self.m = len(indices) // 2
+        self._nbr_bits: Optional[List[int]] = None
+
+    @property
+    def nbr_bits(self) -> List[int]:
+        """Bitset rows, built on first access and cached (see module docstring)."""
+        bits = self._nbr_bits
+        if bits is None:
+            indptr, indices = self.indptr, self.indices
+            bits = [0] * self.n
+            for i in range(self.n):
+                b = 0
+                for k in range(indptr[i], indptr[i + 1]):
+                    b |= 1 << indices[k]
+                bits[i] = b
+            self._nbr_bits = bits
+        return bits
+
+    # -- id-space queries ------------------------------------------------
+    def neighbors_of(self, i: int) -> List[int]:
+        """The sorted neighbor ids of id ``i`` (a fresh list)."""
+        return self.indices[self.indptr[i]:self.indptr[i + 1]]
+
+    def iter_neighbors(self, i: int) -> Iterator[int]:
+        indices = self.indices
+        for k in range(self.indptr[i], self.indptr[i + 1]):
+            yield indices[k]
+
+    def degree_of(self, i: int) -> int:
+        return self.indptr[i + 1] - self.indptr[i]
+
+    def has_edge_ids(self, i: int, j: int) -> bool:
+        """Whether ``ij`` is an edge (binary search in the CSR row of i)."""
+        lo, hi = self.indptr[i], self.indptr[i + 1]
+        k = bisect_left(self.indices, j, lo, hi)
+        return k < hi and self.indices[k] == j
+
+    # -- label translation ----------------------------------------------
+    def ids_of(self, vs: Sequence[Vertex]) -> List[int]:
+        """Translate labels to ids; unknown labels raise ``KeyError``."""
+        vid = self.vid
+        return [vid[v] for v in vs]
+
+    def labels_of(self, ids: Sequence[int]) -> List[Vertex]:
+        verts = self.verts
+        return [verts[i] for i in ids]
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GraphIndex(n={self.n}, m={self.m})"
+
+
+def graph_index(graph: Graph) -> GraphIndex:
+    """The cached :class:`GraphIndex` snapshot of ``graph``.
+
+    Returns the same object for the same graph version; a mutation
+    (``add_edge``, ``remove_vertex``, …) invalidates the cache and the
+    next call rebuilds.  The snapshot itself never changes — holding one
+    across mutations is safe, it just describes the older graph.
+    """
+    cached = graph._index_cache
+    if cached is not None and cached[0] == graph.version:
+        return cached[1]  # type: ignore[return-value]
+    index = GraphIndex(graph)
+    graph._index_cache = (graph.version, index)
+    return index

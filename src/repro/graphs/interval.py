@@ -75,7 +75,7 @@ def dominated_vertices(graph: Graph) -> Set[Vertex]:
     closed = {v: graph.closed_neighborhood(v) for v in graph.vertices()}
     out: Set[Vertex] = set()
     for v in graph.vertices():
-        for u in graph.neighbors(v):
+        for u in graph.neighbors_view(v):
             if closed[v] > closed[u]:
                 out.add(v)
                 break

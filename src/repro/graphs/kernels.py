@@ -1,0 +1,748 @@
+"""O(n + m) kernels for the hot chordal machinery, in integer id space.
+
+Every function here runs on a :class:`~repro.graphs.index.GraphIndex`
+snapshot (dense ids, CSR adjacency, big-int bitsets) and is the drop-in
+fast path behind the public label-space API:
+
+====================================  =======================  ==================
+kernel                                replaces                 cost
+====================================  =======================  ==================
+:func:`lexbfs`                        ``chordal.lex_bfs``      O(n + m)
+:func:`mcs`                           ``chordal.maximum_-      O((n + m) log n)
+                                      cardinality_search``
+:func:`check_peo` / :func:`is_peo`    ``chordal.check_peo``    O(n + m)
+:func:`peo_and_violation`             ``chordal.perfect_-      O(n + m)
+                                      elimination_ordering``
+:func:`maximal_cliques_from_peo`      ``chordal.maximal_-      O(n + m)
+                                      cliques``
+:func:`simplicial_vertex_ids`         ``chordal.simplicial_-   O(m · n / 64)
+                                      vertices``               (bitsets, early exit)
+:func:`greedy_coloring`               ``coloring.greedy.peo_-  O(n + m)
+                                      greedy_coloring``
+:func:`clique_intersection_edges`     ``cliquetree.wcig``      output-sensitive
+:func:`peeling_layers`                layer map of             forest O(n + m) +
+                                      ``coloring.prune``       diameter BFSes
+====================================  =======================  ==================
+
+The kernels are **tie-break exact**: ids are assigned in sorted label
+order (see :mod:`repro.graphs.index`), so comparing ints reproduces every
+label comparison the reference implementations make, and each kernel's
+output — translated back to labels — is byte-identical to the retained
+``_reference_*`` path.  The equivalence suite in
+``tests/graphs/test_kernels.py`` pins this across all generator families,
+adversarial non-chordal inputs, and the paper's 23-node example.
+
+LexBFS uses the stable partition-refinement of Habib–McConnell–Paul–
+Viennot: classes are doubly-linked vertex lists, a pivot's unvisited
+neighbors move (in rank order) into a twin class inserted just before
+their old class, so within-class order stays the initial-rank order — the
+same tie-break the reference's stable block filtering produces.  MCS uses
+a bucket queue with lazy-deletion min-heaps per weight.  The PEO check is
+Golumbic's deferred "parent accumulation" test; on failure a bitset rescan
+recovers the reference's *first* violating vertex.  Maximal cliques use
+the Blair–Peyton criterion (``C(v)`` is non-maximal iff some vertex whose
+parent is ``v`` has a later-neighborhood one larger), which is equivalent
+to — and replaces — the reference's quadratic subset filter.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .index import GraphIndex
+
+__all__ = [
+    "lexbfs",
+    "mcs",
+    "is_peo",
+    "check_peo",
+    "peo_and_violation",
+    "maximal_cliques_from_peo",
+    "is_simplicial_id",
+    "simplicial_vertex_ids",
+    "greedy_coloring",
+    "clique_intersection_edges",
+    "maximum_weight_spanning_forest_ids",
+    "peeling_layers",
+]
+
+
+# ---------------------------------------------------------------------------
+# LexBFS / LBFS+
+# ---------------------------------------------------------------------------
+
+def lexbfs(
+    index: GraphIndex,
+    start: Optional[int] = None,
+    plus: Optional[Sequence[int]] = None,
+) -> List[int]:
+    """Lexicographic BFS visit order over ids (see module docstring).
+
+    ``start`` pins the first visited id.  ``plus`` (a previous visit order
+    as ids) switches to the LBFS+ tie-break: ties go to the id appearing
+    latest in it, and the start defaults to its last element.  Callers
+    validate that ``plus`` enumerates every id exactly once.
+    """
+    n = index.n
+    if n == 0:
+        return []
+    if plus is not None:
+        init = list(reversed(plus))
+        if start is None:
+            start = init[0]
+    else:
+        init = list(range(n))
+    if start is not None and init[0] != start:
+        init = [start] + [v for v in init if v != start]
+    return _lexbfs_core(index, init)
+
+
+def _lexbfs_core(index: GraphIndex, init: List[int]) -> List[int]:
+    n = index.n
+    indptr, indices = index.indptr, index.indices
+
+    # Neighbors of each vertex in increasing *rank* (initial position)
+    # order: append v to each neighbor's list while scanning init.
+    nbr_by_rank: List[List[int]] = [[] for _ in range(n)]
+    for v in init:
+        for k in range(indptr[v], indptr[v + 1]):
+            nbr_by_rank[indices[k]].append(v)
+
+    # Vertices doubly linked inside their class; classes doubly linked.
+    nxt = [-1] * n
+    prv = [-1] * n
+    prev = -1
+    for v in init:
+        prv[v] = prev
+        if prev >= 0:
+            nxt[prev] = v
+        prev = v
+    chead = [init[0]]
+    ctail = [init[-1]]
+    cnext = [-1]
+    cprev = [-1]
+    cls_of = [0] * n
+    first_class = 0
+
+    visited = bytearray(n)
+    order: List[int] = []
+    append_order = order.append
+
+    while first_class != -1:
+        # pop the head of the first class
+        v = chead[first_class]
+        h = nxt[v]
+        if h == -1:
+            nc = cnext[first_class]
+            if nc != -1:
+                cprev[nc] = -1
+            first_class = nc
+        else:
+            prv[h] = -1
+            chead[first_class] = h
+        visited[v] = 1
+        append_order(v)
+
+        # split every class touched by v's unvisited neighbors: each
+        # neighbor moves (in rank order) to a twin inserted before its
+        # old class.
+        twins: Dict[int, int] = {}
+        for u in nbr_by_rank[v]:
+            if visited[u]:
+                continue
+            c = cls_of[u]
+            t = twins.get(c)
+            if t is None:
+                t = len(chead)
+                chead.append(-1)
+                ctail.append(-1)
+                pc = cprev[c]
+                cnext.append(c)
+                cprev.append(pc)
+                cprev[c] = t
+                if pc == -1:
+                    first_class = t
+                else:
+                    cnext[pc] = t
+                twins[c] = t
+            # unlink u from c
+            pu, nu = prv[u], nxt[u]
+            if pu != -1:
+                nxt[pu] = nu
+            else:
+                chead[c] = nu
+            if nu != -1:
+                prv[nu] = pu
+            else:
+                ctail[c] = pu
+            if chead[c] == -1:  # c drained: drop it from the class list
+                pc2, nc2 = cprev[c], cnext[c]
+                if pc2 != -1:
+                    cnext[pc2] = nc2
+                else:
+                    first_class = nc2
+                if nc2 != -1:
+                    cprev[nc2] = pc2
+            # append u at the tail of the twin
+            tl = ctail[t]
+            prv[u] = tl
+            nxt[u] = -1
+            if tl == -1:
+                chead[t] = u
+            else:
+                nxt[tl] = u
+            ctail[t] = u
+            cls_of[u] = t
+    return order
+
+
+# ---------------------------------------------------------------------------
+# Maximum cardinality search
+# ---------------------------------------------------------------------------
+
+def mcs(index: GraphIndex) -> List[int]:
+    """MCS visit order: max visited-neighbor count, ties to the lowest id."""
+    n = index.n
+    if n == 0:
+        return []
+    indptr, indices = index.indptr, index.indices
+    weight = [0] * n
+    visited = bytearray(n)
+    # buckets[w] is a lazy min-heap of ids currently believed at weight w;
+    # range(n) is already heap-ordered.
+    buckets: List[List[int]] = [[] for _ in range(n + 1)]
+    buckets[0] = list(range(n))
+    max_w = 0
+    order: List[int] = []
+    for _ in range(n):
+        while True:
+            b = buckets[max_w]
+            while b and (visited[b[0]] or weight[b[0]] != max_w):
+                heapq.heappop(b)
+            if b:
+                break
+            max_w -= 1
+        v = heapq.heappop(buckets[max_w])
+        visited[v] = 1
+        order.append(v)
+        for k in range(indptr[v], indptr[v + 1]):
+            u = indices[k]
+            if not visited[u]:
+                w = weight[u] + 1
+                weight[u] = w
+                heapq.heappush(buckets[w], u)
+                if w > max_w:
+                    max_w = w
+    return order
+
+
+# ---------------------------------------------------------------------------
+# PEO checking
+# ---------------------------------------------------------------------------
+
+def _accumulated_peo_test(index: GraphIndex, order: Sequence[int]) -> bool:
+    """Golumbic's linear PEO test (True iff ``order`` is a PEO)."""
+    n = index.n
+    indptr, indices = index.indptr, index.indices
+    pos = [0] * n
+    for i, v in enumerate(order):
+        pos[v] = i
+    pending: List[List[int]] = [[] for _ in range(n)]
+    mark = [-1] * n
+    for step, v in enumerate(order):
+        owed = pending[v]
+        if owed:
+            for k in range(indptr[v], indptr[v + 1]):
+                mark[indices[k]] = step
+            for u in owed:
+                if mark[u] != step:
+                    return False
+        pv = pos[v]
+        parent = -1
+        best = n + 1
+        later: List[int] = []
+        for k in range(indptr[v], indptr[v + 1]):
+            u = indices[k]
+            pu = pos[u]
+            if pu > pv:
+                later.append(u)
+                if pu < best:
+                    best = pu
+                    parent = u
+        if parent != -1:
+            owe = pending[parent]
+            for u in later:
+                if u != parent:
+                    owe.append(u)
+    return True
+
+
+def _first_peo_violation(index: GraphIndex, order: Sequence[int]) -> Optional[int]:
+    """The first id in ``order`` whose later neighborhood is not a clique.
+
+    Per-vertex rescan used only on the failure path, where it reproduces
+    the reference's answer (the *earliest* violating vertex, not the one
+    the accumulation test happens to trip over first).
+    """
+    n = index.n
+    indptr, indices = index.indptr, index.indices
+    pos = [0] * n
+    for i, v in enumerate(order):
+        pos[v] = i
+    mark = [-1] * n
+    for step, v in enumerate(order):
+        pv = pos[v]
+        later: List[int] = []
+        parent = -1
+        best = n + 1
+        for k in range(indptr[v], indptr[v + 1]):
+            u = indices[k]
+            pu = pos[u]
+            if pu > pv:
+                later.append(u)
+                if pu < best:
+                    best = pu
+                    parent = u
+        if parent == -1:
+            continue
+        for k in range(indptr[parent], indptr[parent + 1]):
+            mark[indices[k]] = step
+        mark[parent] = step
+        for u in later:
+            if mark[u] != step:
+                return v
+    return None
+
+
+def is_peo(index: GraphIndex, order: Sequence[int]) -> bool:
+    """Whether ``order`` (a permutation of the ids) is a PEO."""
+    return _accumulated_peo_test(index, order)
+
+
+def check_peo(index: GraphIndex, order: Sequence[int]) -> Optional[int]:
+    """``None`` if ``order`` is a PEO, else the first violating id."""
+    if _accumulated_peo_test(index, order):
+        return None
+    bad = _first_peo_violation(index, order)
+    if bad is None:  # pragma: no cover - the two tests agree by construction
+        raise AssertionError("PEO test disagreement")
+    return bad
+
+
+def peo_and_violation(index: GraphIndex) -> Tuple[List[int], Optional[int]]:
+    """Reverse-LexBFS order plus its first PEO violation (None iff chordal)."""
+    order = lexbfs(index)
+    order.reverse()
+    return order, check_peo(index, order)
+
+
+# ---------------------------------------------------------------------------
+# Maximal cliques (Blair–Peyton) and simplicial vertices
+# ---------------------------------------------------------------------------
+
+def maximal_cliques_from_peo(
+    index: GraphIndex, order: Sequence[int]
+) -> List[Tuple[int, ...]]:
+    """The maximal cliques of a chordal graph from a verified PEO.
+
+    Returns sorted id-tuples ordered by (size, members) — the reference's
+    determinism contract.  ``C(v) = {v} + later-neighbors(v)`` is maximal
+    iff no vertex ``w`` with parent ``v`` has ``|madj(w)| = |madj(v)| + 1``
+    (Blair & Peyton); candidates are pairwise distinct because ``v`` is
+    the earliest member of ``C(v)``.
+    """
+    n = index.n
+    indptr, indices = index.indptr, index.indices
+    pos = [0] * n
+    for i, v in enumerate(order):
+        pos[v] = i
+    later_of: List[List[int]] = [[] for _ in range(n)]
+    parent = [-1] * n
+    msize = [0] * n
+    for v in range(n):
+        pv = pos[v]
+        best = n + 1
+        par = -1
+        later = later_of[v]
+        for k in range(indptr[v], indptr[v + 1]):
+            u = indices[k]
+            pu = pos[u]
+            if pu > pv:
+                later.append(u)
+                if pu < best:
+                    best = pu
+                    par = u
+        parent[v] = par
+        msize[v] = len(later)
+    non_maximal = bytearray(n)
+    for w in range(n):
+        p = parent[w]
+        if p != -1 and msize[w] == msize[p] + 1:
+            non_maximal[p] = 1
+    cliques: List[Tuple[int, ...]] = []
+    for v in range(n):
+        if not non_maximal[v]:
+            members = later_of[v] + [v]
+            members.sort()
+            cliques.append(tuple(members))
+    cliques.sort(key=lambda c: (len(c), c))
+    return cliques
+
+
+#: Above this vertex count the bitset neighborhood table (O(n^2 / 8) bytes,
+#: O(n * m / 64) build) loses to sorted-row merges; the simplicial kernel
+#: switches strategy here.  See docs/kernels.md for the crossover argument.
+_BITSET_N_LIMIT = 4096
+
+
+def _is_simplicial_bits(index: GraphIndex, v: int) -> bool:
+    """Bitset subset tests: one ``& ~`` word sweep per neighbor."""
+    nbr_bits = index.nbr_bits
+    nb = nbr_bits[v]
+    indptr, indices = index.indptr, index.indices
+    for k in range(indptr[v], indptr[v + 1]):
+        u = indices[k]
+        # every neighbor with a larger id must be adjacent to u
+        if (nb & ~nbr_bits[u]) >> (u + 1):
+            return False
+    return True
+
+
+def _is_simplicial_merge(index: GraphIndex, v: int) -> bool:
+    """Sorted-row two-pointer subset tests (no bitset table needed)."""
+    indptr, indices = index.indptr, index.indices
+    row_v = indices[indptr[v]:indptr[v + 1]]
+    dv = len(row_v)
+    for a in range(dv - 1):
+        u = row_v[a]
+        # row_v[a + 1:] (the neighbors above u) must all be adjacent to u
+        i = a + 1
+        j = indptr[u]
+        end = indptr[u + 1]
+        while i < dv:
+            target = row_v[i]
+            while j < end and indices[j] < target:
+                j += 1
+            if j >= end or indices[j] != target:
+                return False
+            i += 1
+            j += 1
+    return True
+
+
+def is_simplicial_id(index: GraphIndex, v: int) -> bool:
+    """Whether N(v) is a clique.
+
+    Uses the bitset table below :data:`_BITSET_N_LIMIT` vertices (or when
+    it is already built), sorted-row merges above it.
+    """
+    if index.n <= _BITSET_N_LIMIT or index._nbr_bits is not None:
+        return _is_simplicial_bits(index, v)
+    return _is_simplicial_merge(index, v)
+
+
+def simplicial_vertex_ids(index: GraphIndex) -> List[int]:
+    """All simplicial ids, ascending."""
+    return [v for v in range(index.n) if is_simplicial_id(index, v)]
+
+
+# ---------------------------------------------------------------------------
+# Greedy coloring along an order
+# ---------------------------------------------------------------------------
+
+def greedy_coloring(index: GraphIndex, order: Sequence[int]) -> List[int]:
+    """First-fit colors (1-based, indexed by id) processing ``order``.
+
+    Stamp-array smallest-free-color: O(n + m) total, no per-vertex set of
+    used colors.  Vertices not in ``order`` keep color 0.
+    """
+    n = index.n
+    indptr, indices = index.indptr, index.indices
+    color = [0] * n
+    used = [0] * (n + 2)
+    stamp = 0
+    for v in order:
+        stamp += 1
+        for k in range(indptr[v], indptr[v + 1]):
+            c = color[indices[k]]
+            if c:
+                used[c] = stamp
+        c = 1
+        while used[c] == stamp:
+            c += 1
+        color[v] = c
+    return color
+
+
+# ---------------------------------------------------------------------------
+# Weighted clique intersection graph + canonical spanning forest (id space)
+# ---------------------------------------------------------------------------
+
+def clique_intersection_edges(
+    cliques: Sequence[Tuple[int, ...]]
+) -> List[Tuple[int, int, int]]:
+    """W_G edges among ``cliques`` as ``(i, j, weight)`` with ``i < j``.
+
+    Output-sensitive: instead of intersecting all O(q²) pairs, walk each
+    vertex's clique-incidence list and count shared members per pair, so
+    the cost is the total intersection weight.  The result is sorted by
+    (i, j) — exactly the reference's nested-loop enumeration order.
+    """
+    incidence: Dict[int, List[int]] = {}
+    weights: Dict[Tuple[int, int], int] = {}
+    for ci, members in enumerate(cliques):
+        for v in members:
+            lst = incidence.get(v)
+            if lst is None:
+                incidence[v] = [ci]
+            else:
+                for cj in lst:
+                    key = (cj, ci)
+                    weights[key] = weights.get(key, 0) + 1
+                lst.append(ci)
+    return [(i, j, w) for (i, j), w in sorted(weights.items())]
+
+
+def maximum_weight_spanning_forest_ids(
+    cliques: Sequence[Tuple[int, ...]],
+    edges: Sequence[Tuple[int, int, int]],
+) -> List[Tuple[int, int]]:
+    """Kruskal under the paper's canonical order ``<``, over clique indices.
+
+    The key of edge (i, j) is ``(w, sigma_lo, sigma_hi)`` with the sigma
+    words compared as id tuples — order-isomorphic to the label-space
+    reference, hence the same unique forest.
+    """
+    def key(e: Tuple[int, int, int]):
+        i, j, w = e
+        si, sj = cliques[i], cliques[j]
+        return (w, si, sj) if si <= sj else (w, sj, si)
+
+    parent = list(range(len(cliques)))
+
+    def find(x: int) -> int:
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    chosen: List[Tuple[int, int]] = []
+    size = [1] * len(cliques)
+    for i, j, _w in sorted(edges, key=key, reverse=True):
+        ri, rj = find(i), find(j)
+        if ri == rj:
+            continue
+        if size[ri] < size[rj]:
+            ri, rj = rj, ri
+        parent[rj] = ri
+        size[ri] += size[rj]
+        chosen.append((i, j))
+    return chosen
+
+
+# ---------------------------------------------------------------------------
+# Peeling layers (Lemma 6), layers only
+# ---------------------------------------------------------------------------
+
+class _RestrictedBFS:
+    """BFS over the CSR arrays restricted to alive vertices, with stamped
+    distance arrays so repeated calls allocate nothing."""
+
+    def __init__(self, index: GraphIndex, alive: bytearray):
+        self._indptr = index.indptr
+        self._indices = index.indices
+        self._alive = alive
+        self._dist = [0] * index.n
+        self._seen = [0] * index.n
+        self._stamp = 0
+
+    def eccentricity_capped(self, source: int, targets: Sequence[int], cap: int) -> int:
+        """max distance from ``source`` to ``targets``, depth-capped.
+
+        The BFS stops at depth ``cap``; a target not reached by then has
+        distance > cap, reported as ``cap + 1``.  The cap is what keeps
+        peeling linear-ish: a decision "diam >= t" never needs distances
+        beyond t, so each BFS explores only the radius-t ball of its
+        source instead of the whole alive component.
+        """
+        self._stamp += 1
+        stamp = self._stamp
+        dist, seen = self._dist, self._seen
+        indptr, indices, alive = self._indptr, self._indices, self._alive
+        seen[source] = stamp
+        dist[source] = 0
+        frontier = [source]
+        d = 0
+        while frontier and d < cap:
+            d += 1
+            nxt: List[int] = []
+            for u in frontier:
+                for k in range(indptr[u], indptr[u + 1]):
+                    w = indices[k]
+                    if alive[w] and seen[w] != stamp:
+                        seen[w] = stamp
+                        dist[w] = d
+                        nxt.append(w)
+            frontier = nxt
+        best = 0
+        for t in targets:
+            if seen[t] != stamp:
+                return cap + 1
+            dt = dist[t]
+            if dt > best:
+                best = dt
+        return best
+
+
+def _path_diameter_at_least(
+    bfs: _RestrictedBFS, verts: List[int], threshold: int
+) -> bool:
+    """Whether the diameter realized within ``verts`` is >= threshold.
+
+    One eccentricity bounds the diameter within [ecc, 2*ecc]; only the
+    gray zone pays for the all-sources scan, and every BFS is capped at
+    the threshold depth.
+    """
+    if not verts:
+        return 0 >= threshold
+    ecc = bfs.eccentricity_capped(verts[0], verts, threshold)
+    if ecc >= threshold:
+        return True
+    if 2 * ecc < threshold:
+        return False
+    for s in verts[1:]:
+        if bfs.eccentricity_capped(s, verts, threshold) >= threshold:
+            return True
+    return False
+
+
+def peeling_layers(
+    index: GraphIndex,
+    threshold: int,
+    max_iterations: Optional[int] = None,
+    last_threshold: Optional[int] = None,
+    order: Optional[List[int]] = None,
+) -> Tuple[List[List[int]], bool]:
+    """The layer map of the peeling process, as sorted id lists.
+
+    Mirrors ``peel_chordal_graph(g, diameter_rule(threshold), ...)`` —
+    same canonical clique forest, same maximal-binary-path decisions, same
+    per-iteration removals — but computes only what Lemma 6 talks about:
+    which vertex lands in which layer, and whether the process exhausted
+    the forest.  ``order`` is an optional pre-verified PEO; without one it
+    is computed here, raising ``ValueError`` on non-chordal input (callers
+    that want the richer :class:`~repro.coloring.prune.Peeling` keep using
+    the reference path).
+    """
+    n = index.n
+    if order is None:
+        order, bad = peo_and_violation(index)
+        if bad is not None:
+            raise ValueError(f"graph is not chordal (violating id {bad})")
+    cliques = maximal_cliques_from_peo(index, order)
+    ncliq = len(cliques)
+    edges = clique_intersection_edges(cliques)
+    forest_edges = maximum_weight_spanning_forest_ids(cliques, edges)
+
+    fadj: List[List[int]] = [[] for _ in range(ncliq)]
+    for i, j in forest_edges:
+        fadj[i].append(j)
+        fadj[j].append(i)
+    deg = [len(a) for a in fadj]
+    alive_c = bytearray([1]) * ncliq if ncliq else bytearray()
+    phi: List[List[int]] = [[] for _ in range(n)]
+    for ci, members in enumerate(cliques):
+        for v in members:
+            phi[v].append(ci)
+    phi_alive = [len(p) for p in phi]
+    alive_v = bytearray([1]) * n if n else bytearray()
+    bfs = _RestrictedBFS(index, alive_v)
+
+    layers: List[List[int]] = []
+    remaining = ncliq
+    comp_seen = [0] * ncliq
+    iteration = 0
+    while remaining:
+        iteration += 1
+        if max_iterations is not None and iteration > max_iterations:
+            return layers, False
+        thr = threshold
+        if (
+            last_threshold is not None
+            and max_iterations is not None
+            and iteration == max_iterations
+        ):
+            thr = last_threshold
+
+        removed: List[int] = []
+        layer_set: List[int] = []
+        for c0 in range(ncliq):
+            if not alive_c[c0] or deg[c0] > 2 or comp_seen[c0] == iteration:
+                continue
+            # one maximal binary path: the component of c0 among alive
+            # cliques of degree <= 2
+            comp = [c0]
+            comp_seen[c0] = iteration
+            stack = [c0]
+            while stack:
+                x = stack.pop()
+                for y in fadj[x]:
+                    if alive_c[y] and deg[y] <= 2 and comp_seen[y] != iteration:
+                        comp_seen[y] = iteration
+                        comp.append(y)
+                        stack.append(y)
+            # pendant iff some end has no outside (alive) attachment
+            if len(comp) == 1:
+                pendant = deg[c0] <= 1
+            else:
+                pendant = False
+                for c in comp:
+                    inner = 0
+                    for y in fadj[c]:
+                        if alive_c[y] and deg[y] <= 2 and comp_seen[y] == iteration:
+                            inner += 1
+                    if inner == 1 and deg[c] - inner == 0:
+                        pendant = True
+                        break
+            if not pendant:
+                verts_set = set()
+                for c in comp:
+                    verts_set.update(cliques[c])
+                if not _path_diameter_at_least(bfs, sorted(verts_set), thr):
+                    continue
+            removed.extend(comp)
+            # a vertex is peeled by THIS path iff its whole alive subtree
+            # lies on it (phi(v) inside the path), matching
+            # ``nodes_with_subtree_in`` -- a vertex whose cliques span two
+            # removed paths survives the iteration.
+            count: Dict[int, int] = {}
+            for c in comp:
+                for v in cliques[c]:
+                    count[v] = count.get(v, 0) + 1
+            for v, k in count.items():
+                if k == phi_alive[v]:
+                    layer_set.append(v)
+
+        if not removed:
+            raise AssertionError(
+                "peeling stalled: a nonempty forest always has pendant paths"
+            )
+
+        layer = sorted(layer_set)
+        layers.append(layer)
+
+        for c in removed:
+            alive_c[c] = 0
+        for c in removed:
+            for d in fadj[c]:
+                if alive_c[d]:
+                    deg[d] -= 1
+            for v in cliques[c]:
+                phi_alive[v] -= 1
+        for v in layer:
+            alive_v[v] = 0
+        remaining -= len(removed)
+    return layers, True

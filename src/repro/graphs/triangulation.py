@@ -35,7 +35,7 @@ Heuristic = str  # "min_degree" | "min_fill"
 
 def fill_in_count(graph: Graph, v: Vertex) -> int:
     """Edges that eliminating v now would add among its neighbors."""
-    nbrs = sorted(graph.neighbors(v))
+    nbrs = sorted(graph.neighbors_view(v))
     missing = 0
     for i, a in enumerate(nbrs):
         for b in nbrs[i + 1:]:
@@ -100,7 +100,7 @@ def triangulate(graph: Graph, heuristic: Heuristic = "min_fill") -> Triangulatio
     fill: List[Tuple[Vertex, Vertex]] = []
     width = 0
     for v in order:
-        nbrs = sorted(work.neighbors(v))
+        nbrs = sorted(work.neighbors_view(v))
         width = max(width, len(nbrs))
         for i, a in enumerate(nbrs):
             for b in nbrs[i + 1:]:

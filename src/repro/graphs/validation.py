@@ -107,7 +107,7 @@ def is_maximal_independent_set(graph: Graph, independent: Iterable[Vertex]) -> b
     for v in graph.vertices():
         if v in member_set:
             continue
-        if not (graph.neighbors(v) & member_set):
+        if not (graph.neighbors_view(v) & member_set):
             return False
     return True
 

@@ -272,7 +272,7 @@ class SyncNetwork:
         self.scheduler = scheduler
         self.sinks: List[TraceSink] = list(sinks) if sinks else []
         self.programs: Dict[Vertex, NodeProgram] = {
-            v: program_factory(v, sorted(graph.neighbors(v))) for v in graph.vertices()
+            v: program_factory(v, sorted(graph.neighbors_view(v))) for v in graph.vertices()
         }
         self.stats = RunStats()
         #: canonical stepping order (= vertex insertion order of the graph)

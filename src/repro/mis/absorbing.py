@@ -53,7 +53,7 @@ def absorbing_mis(
         d += 1
         nxt = []
         for u in frontier:
-            for w in ambient.neighbors(u):
+            for w in ambient.neighbors_view(u):
                 if w not in dist:
                     dist[w] = d
                     nxt.append(w)

@@ -143,7 +143,7 @@ def _anchor_clique(
         if att is None:
             continue
         att_present = set(att) & set(ambient.vertices())
-        if any(ambient.neighbors(u) & members for u in att_present):
+        if any(ambient.neighbors_view(u) & members for u in att_present):
             touching.append(frozenset(att_present))
     if not touching:
         return None

@@ -38,7 +38,7 @@ def maximum_independent_set_chordal(graph: Graph) -> Set[Vertex]:
             continue
         taken.add(v)
         blocked.add(v)
-        blocked |= graph.neighbors(v)
+        blocked |= graph.neighbors_view(v)
     return taken
 
 
@@ -67,7 +67,7 @@ def greedy_simplicial_mis(
     while len(current) > 0:
         simplicial = [
             v for v in current.vertices()
-            if current.is_clique(current.neighbors(v))
+            if current.is_clique(current.neighbors_view(v))
         ]
         if not simplicial:
             raise ValueError("graph is not chordal: no simplicial vertex found")

@@ -29,10 +29,16 @@ from ..coloring import (
     diameter_rule,
     distributed_color_chordal,
     peel_chordal_graph,
+    peeling_layers,
 )
+from ..coloring.greedy import peo_greedy_coloring
 from ..graphs import (
     clique_number,
+    maximal_cliques,
     num_colors,
+    path_graph,
+    random_k_tree,
+    simplicial_vertices,
     unit_interval_chain,
 )
 from ..lowerbounds import measure_r_round_mis
@@ -52,6 +58,7 @@ __all__ = [
     "b1_cell",
     "figure_cell",
     "x1_cell",
+    "k1_cell",
 ]
 
 
@@ -152,6 +159,50 @@ def l6_cell(n: int, family: str, seed: int) -> Dict[str, Any]:
         "layers": peeling.num_layers(),
         "bound": math.ceil(math.log2(max(2, len(g)))) + 1,
     }
+
+
+#: the K1 graph builders: families that scale to n = 10^5
+_K1_FAMILIES = {
+    "ktree3": lambda n, seed: random_k_tree(n, 3, seed=seed),
+    "interval": lambda n, seed: unit_interval_chain(n, seed=seed),
+    "path": lambda n, seed: path_graph(n),
+}
+
+#: families whose weighted clique-intersection graph stays sparse at
+#: large n; random k-trees have hub vertices in Theta(n) maximal
+#: cliques, so their WCIG is superlinearly dense and the peeling
+#: column is skipped for them
+_K1_PEEL_FAMILIES = ("interval", "path")
+
+
+def k1_cell(family: str, n: int, seed: int, threshold: int) -> Dict[str, Any]:
+    """K1: the whole chordal pipeline on one large-n instance.
+
+    Runs the kernel-dispatched public API end to end — PEO via LexBFS,
+    maximal cliques, greedy coloring, simplicial vertices, and (on the
+    sparse-WCIG families) the Lemma 6 peeling — and reports structural
+    invariants.  The speedup shows as feasibility: these cells sat far
+    beyond the per-cell timeout on the pre-kernel substrate; wall-clock
+    comparisons live in ``BENCH_kernels.json``.
+    """
+    g = _K1_FAMILIES[family](n, seed)
+    cliques = maximal_cliques(g)
+    coloring = peo_greedy_coloring(g)
+    payload: Dict[str, Any] = {
+        "n": len(g),
+        "m": g.num_edges(),
+        "omega": max((len(c) for c in cliques), default=0),
+        "colors": num_colors(coloring),
+        "cliques": len(cliques),
+        "simplicial": len(simplicial_vertices(g)),
+        "layers": None,
+        "exhausted": None,
+    }
+    if family in _K1_PEEL_FAMILIES:
+        peel = peeling_layers(g, threshold)
+        payload["layers"] = peel.num_layers()
+        payload["exhausted"] = peel.exhausted
+    return payload
 
 
 def b1_cell(family: str, n: int, seed: int) -> Dict[str, Any]:

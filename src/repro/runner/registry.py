@@ -181,6 +181,23 @@ def _plan_x1(
     ]
 
 
+def _plan_k1(
+    families=("ktree3", "interval", "path"),
+    ns=(10000, 30000, 100000),
+    threshold=12,
+    seed=0,
+):
+    return [
+        CellSpec(
+            "K1",
+            "k1_cell",
+            {"family": f, "n": n, "seed": seed, "threshold": threshold},
+        )
+        for f in families
+        for n in ns
+    ]
+
+
 # --------------------------------------------------------------------------
 # renders: fold payloads back into the EXPERIMENTS.md tables
 
@@ -402,6 +419,35 @@ def _render_x1(specs, values):
     )
 
 
+def _render_k1(specs, values):
+    rows = [
+        (
+            s.params["family"],
+            v["n"],
+            v["m"],
+            v["omega"],
+            v["colors"],
+            v["cliques"],
+            v["simplicial"],
+            "-" if v["layers"] is None else v["layers"],
+            "-" if v["exhausted"] is None else ("yes" if v["exhausted"] else "no"),
+        )
+        for s, v in zip(specs, values)
+        if v is not None
+    ]
+    table = format_table(
+        [
+            "family", "n", "m", "omega", "colors", "cliques",
+            "simplicial", "peel layers", "exhausted",
+        ],
+        rows,
+    )
+    return (
+        "(kernel substrate at large n; peeling runs on the sparse-WCIG"
+        " families, timings in BENCH_kernels.json)\n\n" + table
+    )
+
+
 # --------------------------------------------------------------------------
 # the registry itself (order = report order; legacy ids first)
 
@@ -489,6 +535,14 @@ REGISTRY: Dict[str, Experiment] = {
             _plan_a13,
             _render_a13,
             {"multipliers": (0.25, 0.5, 1.0, 2.0), "chi_values": (4, 16, 64)},
+        ),
+        Experiment(
+            "K1",
+            "Kernel substrate: large-n chordal pipeline scaling",
+            ("repro.graphs", "repro.coloring.prune", "repro.coloring.greedy"),
+            _plan_k1,
+            _render_k1,
+            {"ns": (10000, 30000, 100000), "threshold": 12},
         ),
     ]
 }

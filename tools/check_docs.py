@@ -14,7 +14,10 @@ instructions can never silently rot:
   subpackage, and ``docs/runner.md`` must exist and name every
   registered experiment id;
 * ``docs/tracing.md`` must exist and document the trace-sink surface
-  (``TraceSink``, ``on_round``, the stock sinks, ``repro trace``).
+  (``TraceSink``, ``on_round``, the stock sinks, ``repro trace``);
+* ``docs/kernels.md`` must exist and document the kernel substrate
+  (``GraphIndex``, the ``graph_index`` version-keyed cache, the bitset
+  cutoff, ``bench_kernels`` / ``BENCH_kernels.json``).
 
 Usage::
 
@@ -176,6 +179,26 @@ def check(root: Path) -> List[str]:
                 problems.append(
                     f"docs/tracing.md: {term!r} is never mentioned (the "
                     "trace-sink surface must stay documented)"
+                )
+
+    kernels_doc = root / "docs" / "kernels.md"
+    if not kernels_doc.is_file():
+        problems.append("docs/kernels.md: file missing")
+    else:
+        text = kernels_doc.read_text()
+        for term in (
+            "GraphIndex",
+            "graph_index",
+            "Graph.version",
+            "neighbors_view",
+            "_BITSET_N_LIMIT",
+            "bench_kernels",
+            "BENCH_kernels.json",
+        ):
+            if term not in text:
+                problems.append(
+                    f"docs/kernels.md: {term!r} is never mentioned (the "
+                    "kernel-substrate contract must stay documented)"
                 )
 
     return problems
