@@ -154,6 +154,15 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--select", default="all",
                       help="comma-separated rule codes (default: all)")
     lint.add_argument("--show-suppressed", action="store_true")
+    lint.add_argument("--congest", action="store_true",
+                      help="print the per-program bandwidth certificate table")
+    lint.add_argument("--sanitize", action="store_true",
+                      help="shadow-execution determinism suite (permuted "
+                      "inbox order, transcript diff)")
+    lint.add_argument("--baseline", metavar="FILE",
+                      help="JSON baseline of tolerated findings")
+    lint.add_argument("--write-baseline", metavar="FILE",
+                      help="record current findings as the baseline")
 
     return parser
 
@@ -476,6 +485,14 @@ def main(argv: Optional[list] = None, out=None) -> int:
         lint_argv = [*args.paths, "--format", args.format, "--select", args.select]
         if args.show_suppressed:
             lint_argv.append("--show-suppressed")
+        if args.congest:
+            lint_argv.append("--congest")
+        if args.sanitize:
+            lint_argv.append("--sanitize")
+        if args.baseline:
+            lint_argv.extend(["--baseline", args.baseline])
+        if args.write_baseline:
+            lint_argv.extend(["--write-baseline", args.write_baseline])
         return lint_main(lint_argv, out=out)
 
     raise AssertionError("unreachable")

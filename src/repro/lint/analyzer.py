@@ -38,8 +38,10 @@ from .suppressions import Suppressions, parse_suppressions
 __all__ = [
     "analyze_paths",
     "analyze_source",
+    "analyze_modules",
     "active_findings",
     "iter_python_files",
+    "load_modules",
     "NODE_PROGRAM_ROOT",
 ]
 
@@ -664,6 +666,10 @@ def _always_active_declarers(modules: Sequence[_ModuleInfo]) -> Set[str]:
 
 
 def _analyze_modules(modules: Sequence[_ModuleInfo]) -> List[Finding]:
+    # bandwidth imports dataflow which is analyzer-independent; importing
+    # here (not at module top) keeps the public import graph acyclic
+    from .bandwidth import bandwidth_findings
+
     findings: List[Finding] = []
     declarers = _always_active_declarers(modules)
     for name, definitions in _subclass_closure(modules).items():
@@ -671,7 +677,33 @@ def _analyze_modules(modules: Sequence[_ModuleInfo]) -> List[Finding]:
             _ClassChecker(
                 info, node, findings, inherits_always_active=name in declarers
             ).run()
+    findings.extend(bandwidth_findings(modules))
     return sort_findings(findings)
+
+
+def load_modules(paths: Iterable[Path]) -> List[_ModuleInfo]:
+    """Pass one alone: parse every file under ``paths`` into module infos.
+
+    The result feeds both :func:`_analyze_modules` and the bandwidth
+    certifier (``repro lint --congest``), so a combined run parses each
+    file exactly once.
+    """
+    modules: List[_ModuleInfo] = []
+    for file in iter_python_files(paths):
+        source = file.read_text()
+        tree = ast.parse(source, filename=str(file))
+        modules.append(_ModuleInfo(str(file), tree, parse_suppressions(source, str(file))))
+    return modules
+
+
+def analyze_modules(modules: Sequence[_ModuleInfo]) -> List[Finding]:
+    """Pass two over already-loaded modules (rules L1-L9, sorted findings).
+
+    Separated from :func:`analyze_paths` so a caller holding the modules
+    -- e.g. the CLI, which also needs them for the bandwidth certificate
+    table and for stale-suppression reporting -- parses each file once.
+    """
+    return _analyze_modules(modules)
 
 
 def analyze_paths(paths: Iterable[Path]) -> List[Finding]:
@@ -682,12 +714,7 @@ def analyze_paths(paths: Iterable[Path]) -> List[Finding]:
     Unparseable files raise ``SyntaxError`` -- a file the linter cannot
     read is a build problem, not a lint finding.
     """
-    modules: List[_ModuleInfo] = []
-    for file in iter_python_files(paths):
-        source = file.read_text()
-        tree = ast.parse(source, filename=str(file))
-        modules.append(_ModuleInfo(str(file), tree, parse_suppressions(source, str(file))))
-    return _analyze_modules(modules)
+    return _analyze_modules(load_modules(paths))
 
 
 def analyze_source(source: str, path: str = "<string>") -> List[Finding]:

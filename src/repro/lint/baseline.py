@@ -1,0 +1,153 @@
+"""Checked-in lint baselines: known findings the build tolerates by name.
+
+Inline ``# repro-lint: disable=`` comments are right for violations the
+code's own author signs off on.  A *baseline* file handles the other
+case: the linter grows a new rule, the existing reference implementation
+trips it for documented reasons, and the findings should stay visible in
+reports without failing CI or requiring comment churn across the tree.
+``tools/lint_baseline.json`` is exactly that for this repository (the
+one entry today: :class:`LinialPathProgram`'s ``list(ctx.inbox.values())``,
+statically L9 but verified order-insensitive by the shadow sanitizer).
+
+Entries match on ``(rule, symbol, path)`` -- deliberately **not** on line
+numbers, which shift with every edit.  Paths compare by their trailing
+``repro/...`` component so a baseline written from a repo checkout
+(``src/repro/...``) also matches a lint run over an installed package
+(``.../site-packages/repro/...``).
+
+An entry that matches nothing is *unused* and reported as a warning:
+the violation it excused is gone and the entry should be deleted
+(same staleness contract as inline suppressions).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+from .findings import Finding
+from .rules import RULES
+
+__all__ = [
+    "BaselineEntry",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
+    "entry_for",
+]
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One tolerated finding, identified structurally (no line numbers)."""
+
+    rule: str
+    symbol: str
+    path: str
+    reason: str = ""
+
+    def key(self) -> Tuple[str, str, str]:
+        return (self.rule, self.symbol, _path_key(self.path))
+
+
+def _path_key(path: str) -> str:
+    """The stable tail of a source path: from the last ``repro/`` on.
+
+    Falls back to the basename for files outside the package (fixtures),
+    which keeps matching well-defined everywhere the linter runs.
+    """
+    posix = Path(path).as_posix()
+    marker = "repro/"
+    idx = posix.rfind(marker)
+    if idx >= 0:
+        return posix[idx:]
+    return posix.rsplit("/", 1)[-1]
+
+
+def entry_for(finding: Finding, reason: str = "") -> BaselineEntry:
+    return BaselineEntry(
+        rule=finding.rule,
+        symbol=finding.symbol,
+        path=_path_key(finding.path),
+        reason=reason,
+    )
+
+
+def load_baseline(path: Union[str, Path]) -> List[BaselineEntry]:
+    """Parse a baseline file; raises ``ValueError`` on malformed entries."""
+    data = json.loads(Path(path).read_text())
+    entries_raw = data.get("entries") if isinstance(data, dict) else data
+    if not isinstance(entries_raw, list):
+        raise ValueError(f"{path}: baseline must be a list (or {{'entries': [...]}})")
+    entries: List[BaselineEntry] = []
+    for i, raw in enumerate(entries_raw):
+        if not isinstance(raw, dict) or not {"rule", "symbol", "path"} <= set(raw):
+            raise ValueError(
+                f"{path}: entry {i} must be an object with rule/symbol/path"
+            )
+        if raw["rule"] not in RULES:
+            raise ValueError(f"{path}: entry {i} names unknown rule {raw['rule']!r}")
+        entries.append(
+            BaselineEntry(
+                rule=str(raw["rule"]),
+                symbol=str(raw["symbol"]),
+                path=str(raw["path"]),
+                reason=str(raw.get("reason", "")),
+            )
+        )
+    return entries
+
+
+def write_baseline(
+    path: Union[str, Path], findings: Sequence[Finding]
+) -> List[BaselineEntry]:
+    """Write every active finding as a baseline entry; returns the entries."""
+    entries = sorted(
+        {entry_for(f) for f in findings if not f.suppressed},
+        key=BaselineEntry.key,
+    )
+    payload = {
+        "entries": [
+            {
+                "rule": e.rule,
+                "symbol": e.symbol,
+                "path": e.path,
+                "reason": e.reason or "TODO: justify or fix",
+            }
+            for e in entries
+        ]
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return entries
+
+
+def apply_baseline(
+    findings: Sequence[Finding], entries: Sequence[BaselineEntry]
+) -> Tuple[List[Finding], List[Finding], List[BaselineEntry]]:
+    """Split findings by the baseline.
+
+    Returns ``(remaining, baselined, unused_entries)``: the active
+    findings the baseline does not excuse, the ones it does, and the
+    entries that matched nothing (stale -- report, don't fail).
+    Suppressed findings pass through in ``remaining``'s complement
+    untouched; a baseline only ever speaks about active findings.
+    """
+    by_key: Dict[Tuple[str, str, str], BaselineEntry] = {
+        e.key(): e for e in entries
+    }
+    used: set = set()
+    remaining: List[Finding] = []
+    baselined: List[Finding] = []
+    for finding in findings:
+        if finding.suppressed:
+            continue
+        key = (finding.rule, finding.symbol, _path_key(finding.path))
+        if key in by_key:
+            used.add(key)
+            baselined.append(finding)
+        else:
+            remaining.append(finding)
+    unused = [e for e in entries if e.key() not in used]
+    return remaining, baselined, unused

@@ -7,20 +7,33 @@ Usage::
     python -m repro.lint --format=json        # machine-readable report
     python -m repro.lint --select L1,L3       # only some rules
     python -m repro.lint --list-rules         # print the rule set
+    python -m repro.lint --congest            # bandwidth certificate table
+    python -m repro.lint --sanitize           # shadow-execution determinism run
+    python -m repro.lint --baseline FILE      # tolerate known findings by name
+    python -m repro.lint --write-baseline F   # record current findings as known
 
 Exit status: 0 when no active findings, 1 when violations were found,
-2 on usage/parse errors.  The same entry point backs the ``repro lint``
-subcommand of :mod:`repro.cli`.
+2 on usage/parse errors.  Stale inline suppressions and unused baseline
+entries are *warnings* (reported, never failing).  The same entry point
+backs the ``repro lint`` subcommand of :mod:`repro.cli`.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import sys
 from pathlib import Path
-from typing import List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
-from .analyzer import active_findings, analyze_paths
+from .analyzer import active_findings, analyze_modules, analyze_paths, load_modules
+from .baseline import apply_baseline, load_baseline, write_baseline
+from .bandwidth import (
+    certificates_for_modules,
+    format_certificates_json,
+    format_certificates_text,
+)
 from .findings import Finding, format_json, format_text
 from .rules import ALL_RULE_CODES, RULES, normalize_codes
 
@@ -63,6 +76,31 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the rule set and exit",
     )
+    parser.add_argument(
+        "--congest",
+        action="store_true",
+        help="print the per-program bandwidth certificate table instead of "
+        "findings (message-size class: const / ball / unbounded / silent)",
+    )
+    parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run the shadow-execution determinism suite: every stock "
+        "program re-runs with permuted inbox iteration order and its "
+        "transcript/outputs are diffed against the baseline run",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="JSON baseline of tolerated findings (matched by rule/symbol/"
+        "path, not line); matched findings report as suppressed",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="write every currently active finding to FILE as a baseline "
+        "and exit 0",
+    )
     return parser
 
 
@@ -77,6 +115,124 @@ def run_lint(
     return findings
 
 
+def _stale_suppressions(modules) -> List[Tuple[str, int, str]]:
+    """(path, line, rule) for every inline marker that suppressed nothing."""
+    out: List[Tuple[str, int, str]] = []
+    for info in modules:
+        for line, rule in info.suppressions.stale_markers():
+            out.append((info.path, line, rule))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# the shadow-execution suite (``--sanitize``)
+# ---------------------------------------------------------------------------
+
+def _sanitize_suite():
+    """(name, graph, program factory) triples for every stock program.
+
+    Imported lazily: the static linter must stay importable (and fast)
+    without pulling in the graph substrate.
+    """
+    import random
+
+    from ..baselines.coloring_baselines import RandomizedColoringProgram
+    from ..baselines.luby import LubyMISProgram
+    from ..graphs import cycle_graph, path_graph, random_chordal_graph
+    from ..localmodel import (
+        BallGatherProgram,
+        BFSLayerProgram,
+        EchoCountProgram,
+        LeaderElectionProgram,
+        LinialPathProgram,
+        vertex_key,
+    )
+
+    chordal = random_chordal_graph(14, seed=7, tree_size=14)
+    cycle = cycle_graph(8)
+    path = path_graph(9)
+    tree_n = len(chordal)
+
+    def seeded(cls, *extra):
+        master = random.Random(11)
+        seeds = {v: master.randrange(2**62) for v in chordal.vertices()}
+        return lambda v, nbrs: cls(v, nbrs, *extra, random.Random(seeds[v]))
+
+    root = min(chordal.vertices(), key=vertex_key)
+    return [
+        ("bfs", chordal, lambda v, nbrs: BFSLayerProgram(v, nbrs, root, tree_n + 1)),
+        ("leader", chordal, lambda v, nbrs: LeaderElectionProgram(v, nbrs, tree_n + 1)),
+        ("echo", path, lambda v, nbrs: EchoCountProgram(v, nbrs, 0)),
+        ("gather", cycle, lambda v, nbrs: BallGatherProgram(v, nbrs, 2, ("s", v))),
+        ("luby", chordal, seeded(LubyMISProgram)),
+        (
+            "coloring",
+            chordal,
+            seeded(RandomizedColoringProgram, chordal.max_degree() + 1),
+        ),
+        ("linial", path, lambda v, nbrs: LinialPathProgram(v, nbrs, id_bound=9)),
+    ]
+
+
+def _run_sanitize(fmt: str, out) -> int:
+    from ..localmodel import shadow_check
+
+    results: List[Dict[str, Any]] = []
+    failures = 0
+    for name, graph, factory in _sanitize_suite():
+        report = shadow_check(graph, factory)
+        results.append(
+            {
+                "program": name,
+                "vertices": len(graph),
+                "rounds": report.rounds,
+                "seeds": list(report.seeds),
+                "deterministic": report.deterministic,
+                "divergences": [
+                    {
+                        "seed": d.seed,
+                        "kind": d.kind,
+                        "round": d.round_no,
+                        "detail": d.detail,
+                    }
+                    for d in report.divergences
+                ],
+            }
+        )
+        if not report.deterministic:
+            failures += 1
+    if fmt == "json":
+        print(
+            json.dumps(
+                {"programs": results, "failures": failures},
+                indent=2,
+                sort_keys=True,
+            ),
+            file=out,
+        )
+    else:
+        for r in results:
+            verdict = "ok" if r["deterministic"] else "DIVERGES"
+            print(
+                f"{r['program']:<10} {verdict:<9} "
+                f"({r['vertices']} vertices, {r['rounds']} rounds, "
+                f"seeds {r['seeds']})",
+                file=out,
+            )
+            for d in r["divergences"]:
+                print(f"  seed {d['seed']} [{d['kind']}]: {d['detail']}", file=out)
+        noun = "program" if failures == 1 else "programs"
+        print(
+            f"{failures} {noun} schedule-dependent out of {len(results)}",
+            file=out,
+        )
+    return 1 if failures else 0
+
+
+# ---------------------------------------------------------------------------
+# entry point
+# ---------------------------------------------------------------------------
+
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     out = out or sys.stdout
     args = build_parser().parse_args(argv)
@@ -87,20 +243,100 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             print(f"{code}  {rule.name}: {rule.summary}", file=out)
         return 0
 
+    if args.sanitize:
+        return _run_sanitize(args.format, out)
+
     paths = [Path(p) for p in args.paths] or default_paths()
     for path in paths:
         if not path.exists():
             print(f"repro.lint: no such path: {path}", file=sys.stderr)
             return 2
+
     try:
-        findings = run_lint(paths, args.select)
+        modules = load_modules(paths)
+        if args.congest:
+            certs = certificates_for_modules(modules)
+            render_certs = (
+                format_certificates_json
+                if args.format == "json"
+                else format_certificates_text
+            )
+            out.write(render_certs(certs))
+            out.flush()
+            return 0
+        findings = analyze_modules(modules)
+        keep = normalize_codes(args.select) if args.select else ALL_RULE_CODES
+        findings = [f for f in findings if f.rule in keep]
     except (ValueError, SyntaxError) as exc:
         print(f"repro.lint: {exc}", file=sys.stderr)
         return 2
 
-    render = format_json if args.format == "json" else format_text
+    if args.write_baseline:
+        entries = write_baseline(args.write_baseline, findings)
+        print(
+            f"baseline with {len(entries)} entr"
+            f"{'y' if len(entries) == 1 else 'ies'} written to "
+            f"{args.write_baseline}",
+            file=out,
+        )
+        return 0
+
+    baseline_matched = 0
+    unused_entries: List[Any] = []
+    if args.baseline:
+        try:
+            entries = load_baseline(args.baseline)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"repro.lint: {exc}", file=sys.stderr)
+            return 2
+        remaining, baselined, unused_entries = apply_baseline(findings, entries)
+        baseline_matched = len(baselined)
+        excused = {id(f) for f in baselined}
+        # a baselined finding renders like a suppressed one: visible with
+        # --show-suppressed, never failing the run
+        findings = [
+            dataclasses.replace(f, suppressed=True) if id(f) in excused else f
+            for f in findings
+        ]
+
+    stale = _stale_suppressions(modules)
+
+    if args.format == "json":
+        data = json.loads(format_json(findings, show_suppressed=args.show_suppressed))
+        data["stale_suppressions"] = [
+            {"path": p, "line": line, "rule": rule} for p, line, rule in stale
+        ]
+        if args.baseline:
+            data["baseline"] = {
+                "file": args.baseline,
+                "matched": baseline_matched,
+                "unused_entries": [
+                    {"rule": e.rule, "symbol": e.symbol, "path": e.path}
+                    for e in unused_entries
+                ],
+            }
+        rendered = json.dumps(data, indent=2, sort_keys=True)
+    else:
+        lines = [format_text(findings, show_suppressed=args.show_suppressed)]
+        for p, line, rule in stale:
+            lines.append(
+                f"warning: {p}:{line}: stale suppression of {rule} "
+                "(nothing to suppress; delete the marker)"
+            )
+        for e in unused_entries:
+            lines.append(
+                f"warning: baseline entry {e.rule} {e.symbol} ({e.path}) "
+                "matched nothing; delete it from the baseline"
+            )
+        if args.baseline and baseline_matched:
+            lines.append(
+                f"{baseline_matched} finding(s) excused by baseline "
+                f"{args.baseline}"
+            )
+        rendered = "\n".join(lines)
+
     try:
-        print(render(findings, show_suppressed=args.show_suppressed), file=out)
+        print(rendered, file=out)
         out.flush()
     except BrokenPipeError:
         # downstream consumer (e.g. ``| head``) closed the pipe; the exit

@@ -71,18 +71,30 @@ def format_text(findings: Sequence[Finding], show_suppressed: bool = False) -> s
 
 
 def format_json(findings: Sequence[Finding], show_suppressed: bool = False) -> str:
-    """Machine-readable report: findings list plus per-rule summary."""
+    """Machine-readable report: findings list plus per-rule summary.
+
+    ``summary.suppressed_count`` counts the findings disabled by
+    ``repro-lint`` comments whether or not they are shown, so a JSON
+    consumer can tell "this code is clean" (total 0, suppressed_count 0)
+    from "every violation here has been waved through" (total 0,
+    suppressed_count > 0) without re-running with ``--show-suppressed``.
+    """
     shown = [
         f for f in sort_findings(findings) if show_suppressed or not f.suppressed
     ]
     active = [f for f in shown if not f.suppressed]
+    suppressed_count = sum(1 for f in findings if f.suppressed)
     by_rule: Dict[str, int] = {}
     for f in active:
         by_rule[f.rule] = by_rule.get(f.rule, 0) + 1
     return json.dumps(
         {
             "findings": [f.as_dict() for f in shown],
-            "summary": {"total": len(active), "by_rule": by_rule},
+            "summary": {
+                "total": len(active),
+                "by_rule": by_rule,
+                "suppressed_count": suppressed_count,
+            },
         },
         indent=2,
         sort_keys=True,

@@ -47,6 +47,29 @@ L6  starvation hazard: a :class:`NodeProgram` subclass with a non-trivial
     ``self.done = True`` at its top level -- they finish on their first
     step (round 0 schedules every node) and cannot starve.
 
+Rules L7-L9 are the *bandwidth* fragment, added for CONGEST readiness
+(see :mod:`repro.lint.bandwidth`): the LOCAL model lets messages grow
+without bound, but every quantitative claim reproduced here assumes node
+programs ship at most their gathered balls, and deterministically so.
+
+L7  unbounded payload growth: an attribute accumulating inbox-derived
+    state is re-broadcast with no round horizon.  The per-round message
+    size then grows round over round -- beyond even the ball-gathering
+    budget the paper's ``collect Gamma^r(v)`` primitive allows.
+
+L8  ball-radius leak: the program declares a ``radius`` attribute but
+    the accumulated state it ships is not bounded by it (either no round
+    horizon at all, or a horizon keyed to a different attribute).  The
+    wire payload then encodes state older than the declared radius.
+
+L9  schedule dependence: message or output content derived from set /
+    dict-view iteration order (``next(iter(...))``, ``list()`` over a set
+    or inbox view, ``set.pop()``) or from float-literal equality.  Static
+    L9 findings are one-sided -- the consumer may be order-insensitive --
+    so each should be cross-checked with the shadow-execution sanitizer
+    (``repro lint --sanitize``), which permutes inbox iteration order and
+    diffs transcripts.
+
 Suppression: append ``# repro-lint: disable=L3`` (comma-separate several
 codes, or use ``all``) to the offending line or the line above it; a
 ``# repro-lint: disable-file=L3`` comment before the first statement of a
@@ -112,6 +135,28 @@ RULES: Dict[str, Rule] = {
             "node program with a non-trivial step neither declares "
             "always_active nor calls wake_next_round(); the active-set "
             "scheduler would skip it in silent rounds",
+        ),
+        Rule(
+            "L7",
+            "unbounded-payload-growth",
+            "node program re-broadcasts accumulated inbox-derived state "
+            "with no round horizon; per-round message size grows without "
+            "bound, leaving both CONGEST and ball-gathering budgets",
+        ),
+        Rule(
+            "L8",
+            "ball-radius-leak",
+            "node program declares a gathering radius but ships accumulated "
+            "state past it (no horizon, or a horizon keyed to a different "
+            "attribute); the payload encodes state older than the declared "
+            "radius",
+        ),
+        Rule(
+            "L9",
+            "schedule-dependence",
+            "message or output content derived from set/dict iteration "
+            "order, next(iter(...)), set.pop(), or float-literal equality; "
+            "cross-check dynamically with `repro lint --sanitize`",
         ),
     )
 }

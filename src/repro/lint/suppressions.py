@@ -17,7 +17,7 @@ from __future__ import annotations
 import io
 import re
 import tokenize
-from typing import Dict, FrozenSet, Set
+from typing import Dict, FrozenSet, List, Set, Tuple
 
 from .rules import normalize_codes
 
@@ -29,13 +29,23 @@ _MARKER = re.compile(
 
 
 class Suppressions:
-    """Which rule codes are disabled at which lines (or file-wide)."""
+    """Which rule codes are disabled at which lines (or file-wide).
+
+    The object also keeps score: every :meth:`is_suppressed` call that a
+    marker answers affirmatively records a *hit* against that marker, so
+    after an analysis pass :meth:`stale_markers` names the line-scoped
+    markers that suppressed nothing -- the finding they were written for
+    is gone and the comment is dead weight (or worse, a typo'd line).
+    Stale detection is advisory, not an error: an analysis restricted to
+    a rule subset legitimately leaves other markers unexercised.
+    """
 
     def __init__(
         self, by_line: Dict[int, FrozenSet[str]], file_wide: FrozenSet[str]
     ):
         self._by_line = by_line
         self._file_wide = file_wide
+        self._hits: Set[Tuple[int, str]] = set()
 
     def is_suppressed(self, rule: str, line: int) -> bool:
         """True when ``rule`` is disabled at ``line``.
@@ -46,10 +56,21 @@ class Suppressions:
         """
         if rule in self._file_wide:
             return True
+        hit = False
         for covered in (line, line - 1):
             if rule in self._by_line.get(covered, frozenset()):
-                return True
-        return False
+                self._hits.add((covered, rule))
+                hit = True
+        return hit
+
+    def stale_markers(self) -> List[Tuple[int, str]]:
+        """Line-scoped ``(line, rule)`` markers no finding ever matched."""
+        return sorted(
+            (line, rule)
+            for line, codes in self._by_line.items()
+            for rule in codes
+            if (line, rule) not in self._hits
+        )
 
     @property
     def file_wide(self) -> FrozenSet[str]:

@@ -18,6 +18,12 @@
   enforcement of the LOCAL contract (the dynamic counterpart of the
   :mod:`repro.lint` static rules), enabled with ``SyncNetwork(...,
   sealed=True)``.
+* :mod:`repro.localmodel.meter` -- :class:`MessageMeter`, a trace sink
+  measuring serialized payload sizes per round (the dynamic counterpart
+  of the static bandwidth certificates, lint rules L7/L8).
+* :mod:`repro.localmodel.shadow` -- shadow-execution determinism checker:
+  re-runs a program with permuted inbox iteration order and diffs
+  transcripts and outputs (the dynamic counterpart of lint rule L9).
 """
 
 from .colorreduction import (
@@ -47,7 +53,9 @@ from .programs import (
     elect_leader,
     tree_count,
 )
+from .meter import MessageMeter, payload_bytes, payload_words
 from .rounds import NodeClocks, RoundLedger
+from .shadow import Divergence, ShadowReport, canonical_transcript, shadow_check
 from .trace import (
     JSONLTraceSink,
     MetricsSink,
@@ -87,8 +95,15 @@ __all__ = [
     "bfs_layers",
     "elect_leader",
     "tree_count",
+    "MessageMeter",
+    "payload_bytes",
+    "payload_words",
     "NodeClocks",
     "RoundLedger",
+    "Divergence",
+    "ShadowReport",
+    "canonical_transcript",
+    "shadow_check",
     "JSONLTraceSink",
     "MetricsSink",
     "RecordingSink",

@@ -1,0 +1,115 @@
+"""Dynamic payload-size measurement: the runtime half of the bandwidth pass.
+
+:mod:`repro.lint.bandwidth` classifies each node program's per-round
+message size *statically* (``const`` / ``ball`` / ``unbounded``).  The
+:class:`MessageMeter` below is the matching instrument: a
+:class:`~repro.localmodel.network.TraceSink` that measures what actually
+goes on the wire, in two units --
+
+* **words**: the number of scalar leaves in the payload's JSON-able
+  structure (one per number/string/bool/None; containers contribute the
+  sum of their leaves, an empty container counts one).  This is the unit
+  of the CONGEST model's O(log n)-bits-per-word accounting, and the unit
+  the static certificate speaks;
+* **bytes**: the length of the canonical JSON serialization, for
+  eyeballing absolute sizes.
+
+Unboundedness is not observable in a finite run, so the dynamic check is
+a *growth* check across input sizes: a program certified ``const`` must
+measure a flat ``max_payload_words`` as ``n`` grows, while a ``ball`` or
+``unbounded`` program may grow.  The C1 experiment and the bandwidth
+test suite assert exactly that one-sided inequality
+(``static class >= observed growth class``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from .network import MessageRecord, TraceSink, Vertex
+from .trace import jsonable_payload
+
+__all__ = ["MessageMeter", "payload_words", "payload_bytes"]
+
+
+def payload_words(payload: Any) -> int:
+    """Number of machine words the payload occupies on the wire.
+
+    Counted over the JSON-able rendering (so sets/tuples/frozen dicts
+    measure like their serialized form): every scalar leaf is one word,
+    a dict entry charges both key and value, an empty container still
+    charges one word (its length field is information too).
+    """
+    return _words(jsonable_payload(payload))
+
+
+def _words(data: Any) -> int:
+    if isinstance(data, dict):
+        return max(1, sum(_words(k) + _words(v) for k, v in data.items()))
+    if isinstance(data, list):
+        return max(1, sum(_words(v) for v in data))
+    return 1
+
+
+def payload_bytes(payload: Any) -> int:
+    """Length of the canonical JSON serialization of the payload."""
+    return len(json.dumps(jsonable_payload(payload), sort_keys=True))
+
+
+class MessageMeter(TraceSink):
+    """Measures serialized payload sizes per round.
+
+    Attach via ``SyncNetwork(..., sinks=[meter])``; after the run,
+    :meth:`summary` reports the figures the bandwidth tests compare
+    against the static certificate.  ``per_round`` keeps the round
+    series (max words per round) so ball-gathering programs can be
+    checked for the expected rise-then-stop shape.
+    """
+
+    def __init__(self) -> None:
+        self.per_round: List[Dict[str, int]] = []
+        self.max_payload_words = 0
+        self.max_payload_bytes = 0
+        self.total_payload_words = 0
+
+    def on_round(
+        self,
+        round_no: int,
+        messages: List[MessageRecord],
+        completed: List[Vertex],
+        active_count: int,
+    ) -> None:
+        round_max_words = 0
+        round_words = 0
+        round_max_bytes = 0
+        for record in messages:
+            words = payload_words(record.payload)
+            round_words += words
+            if words > round_max_words:
+                round_max_words = words
+            size = payload_bytes(record.payload)
+            if size > round_max_bytes:
+                round_max_bytes = size
+        self.per_round.append(
+            {
+                "round": round_no,
+                "messages": len(messages),
+                "max_words": round_max_words,
+                "total_words": round_words,
+                "max_bytes": round_max_bytes,
+            }
+        )
+        self.total_payload_words += round_words
+        if round_max_words > self.max_payload_words:
+            self.max_payload_words = round_max_words
+        if round_max_bytes > self.max_payload_bytes:
+            self.max_payload_bytes = round_max_bytes
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "rounds": len(self.per_round),
+            "max_payload_words": self.max_payload_words,
+            "max_payload_bytes": self.max_payload_bytes,
+            "total_payload_words": self.total_payload_words,
+        }

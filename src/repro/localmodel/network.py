@@ -67,6 +67,8 @@ is a thin convenience wrapper over one recording sink; see
 
 from __future__ import annotations
 
+import random
+import zlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Hashable, List, Mapping, Optional, Set, Tuple
 
@@ -253,6 +255,16 @@ class SyncNetwork:
     statement.  Sealing is behavior-preserving for conforming programs
     and orthogonal to the scheduler, so any of the four sealed x scheduler
     combinations is safe (just slightly slower with sealing) in tests.
+
+    ``inbox_order`` is the shadow-execution knob of the determinism
+    sanitizer (:mod:`repro.localmodel.shadow`): when set to an integer
+    seed, every delivered inbox is rebuilt in a pseudorandom key order
+    derived deterministically from ``(seed, round, receiver)`` -- the
+    LOCAL model promises nothing about inbox iteration order, so a
+    conforming program's outputs and transcript must not change.  The
+    permutation uses ``zlib.crc32`` rather than ``hash()`` so a given
+    seed permutes identically across interpreter runs (salted hashing
+    would make the *sanitizer itself* nondeterministic).
     """
 
     def __init__(
@@ -262,6 +274,7 @@ class SyncNetwork:
         sealed: bool = False,
         scheduler: str = "active",
         sinks: Optional[List[TraceSink]] = None,
+        inbox_order: Optional[int] = None,
     ):
         if scheduler not in SCHEDULERS:
             raise ValueError(
@@ -270,6 +283,7 @@ class SyncNetwork:
         self.graph = graph
         self.sealed = sealed
         self.scheduler = scheduler
+        self.inbox_order = inbox_order
         self.sinks: List[TraceSink] = list(sinks) if sinks else []
         self.programs: Dict[Vertex, NodeProgram] = {
             v: program_factory(v, sorted(graph.neighbors_view(v))) for v in graph.vertices()
@@ -385,6 +399,12 @@ class SyncNetwork:
                 if not self.programs[receiver].done:
                     new_pending.setdefault(receiver, {})[sender] = payload
 
+        if self.inbox_order is not None:
+            new_pending = {
+                receiver: self._permuted_inbox(receiver, round_no, inbox)
+                for receiver, inbox in new_pending.items()
+            }
+
         # Next round's active set: actual receivers plus explicit wakeups.
         next_active = set(new_pending)
         for v in scheduled:
@@ -404,6 +424,17 @@ class SyncNetwork:
             completed.sort(key=vertex_key)
             for sink in self.sinks:
                 sink.on_round(round_no, records, completed, len(scheduled))
+
+    def _permuted_inbox(
+        self, receiver: Vertex, round_no: int, inbox: Dict[Vertex, Any]
+    ) -> Dict[Vertex, Any]:
+        """The same inbox, rebuilt in a seed-determined insertion order."""
+        senders = list(inbox)
+        rng = random.Random(
+            zlib.crc32(repr((self.inbox_order, round_no, receiver)).encode())
+        )
+        rng.shuffle(senders)
+        return {sender: inbox[sender] for sender in senders}
 
     # ------------------------------------------------------------------
     # introspection

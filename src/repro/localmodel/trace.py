@@ -35,6 +35,7 @@ separately maintained count.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import time
 from dataclasses import dataclass, field
@@ -144,12 +145,23 @@ class MetricsSink(TraceSink):
 def jsonable_payload(payload: Any) -> Any:
     """Message payloads as JSON-encodable data (tuples/sets/frozen -> lists).
 
-    Payload containers become lists/objects recursively; anything else
-    non-encodable falls back to ``str``.  Lossy but deterministic, which
-    is the right trade for a trace meant to be diffed and grepped.
+    Payload containers become lists/objects recursively; dataclass
+    instances render as ``{"<ClassName>": {field: value, ...}}`` so their
+    *contents* are compared rather than a ``repr`` that leaks dict/set
+    insertion order (which would make the shadow-execution determinism
+    check flag semantically equal values); anything else non-encodable
+    falls back to ``str``.  Lossy but deterministic, which is the right
+    trade for a trace meant to be diffed and grepped.
     """
     if isinstance(payload, FrozenMessageDict):
         payload = dict(payload)
+    if dataclasses.is_dataclass(payload) and not isinstance(payload, type):
+        return {
+            type(payload).__name__: {
+                f.name: jsonable_payload(getattr(payload, f.name))
+                for f in dataclasses.fields(payload)
+            }
+        }
     if isinstance(payload, dict):
         return {str(k): jsonable_payload(v) for k, v in payload.items()}
     if isinstance(payload, (list, tuple)):

@@ -59,6 +59,7 @@ __all__ = [
     "figure_cell",
     "x1_cell",
     "k1_cell",
+    "c1_cell",
 ]
 
 
@@ -341,6 +342,113 @@ def figure_cell(figure: str) -> List[Dict[str, Any]]:
     else:  # pragma: no cover - registry only plans known figures
         raise ValueError(f"unknown figure {figure!r}")
     return checks
+
+
+def _c1_instance(program: str, n: int, seed: int):
+    """(class, graph, factory) for one named stock program at size n.
+
+    The graph family per program matches the ``--sanitize`` suite of
+    :mod:`repro.lint.cli`: the ball-structured programs run on chordal
+    instances, the path/cycle specialists on their native topology.
+    """
+    import random
+
+    from ..baselines.coloring_baselines import RandomizedColoringProgram
+    from ..baselines.luby import LubyMISProgram
+    from ..graphs import cycle_graph, path_graph, random_chordal_graph
+    from ..localmodel import (
+        BallGatherProgram,
+        BFSLayerProgram,
+        EchoCountProgram,
+        LeaderElectionProgram,
+        LinialPathProgram,
+        vertex_key,
+    )
+
+    if program in ("bfs", "leader", "luby", "coloring"):
+        g = random_chordal_graph(n, seed=seed, tree_size=n)
+    elif program == "gather":
+        g = cycle_graph(n)
+    else:
+        g = path_graph(n)
+
+    def seeded(cls, *extra):
+        master = random.Random(seed * 1_000_003 + 13)
+        seeds = {v: master.randrange(2**62) for v in g.vertices()}
+        return lambda v, nbrs: cls(v, nbrs, *extra, random.Random(seeds[v]))
+
+    if program == "bfs":
+        # a max-degree root: the generator may leave low-id vertices
+        # isolated, and a silent BFS measures nothing
+        root = min(
+            g.vertices(),
+            key=lambda v: (-len(list(g.neighbors_view(v))), vertex_key(v)),
+        )
+        return BFSLayerProgram, g, (
+            lambda v, nbrs: BFSLayerProgram(v, nbrs, root, n + 1)
+        )
+    if program == "leader":
+        return LeaderElectionProgram, g, (
+            lambda v, nbrs: LeaderElectionProgram(v, nbrs, n + 1)
+        )
+    if program == "echo":
+        return EchoCountProgram, g, (lambda v, nbrs: EchoCountProgram(v, nbrs, 0))
+    if program == "gather":
+        # radius scales with n so the `ball` class visibly grows while
+        # every `const` program stays flat
+        radius = max(2, n // 8)
+        return BallGatherProgram, g, (
+            lambda v, nbrs: BallGatherProgram(v, nbrs, radius, ("s", v))
+        )
+    if program == "linial":
+        return LinialPathProgram, g, (
+            lambda v, nbrs: LinialPathProgram(v, nbrs, id_bound=n)
+        )
+    if program == "luby":
+        return LubyMISProgram, g, seeded(LubyMISProgram)
+    if program == "coloring":
+        return RandomizedColoringProgram, g, seeded(
+            RandomizedColoringProgram, g.max_degree() + 1
+        )
+    raise ValueError(f"unknown C1 program {program!r}")
+
+
+def c1_cell(program: str, n: int, seed: int) -> Dict[str, Any]:
+    """C1: one metered run of a stock program vs its static certificate.
+
+    Runs the program with a :class:`~repro.localmodel.meter.MessageMeter`
+    sink and re-derives the static bandwidth certificate from the class's
+    defining module, so the payload pairs the *measured* per-round words
+    with the *certified* message-size class.  The render (and
+    ``tests/lint/test_bandwidth.py``) check the one-sided contract:
+    a ``const`` certificate must measure flat ``max_words`` as n grows.
+    """
+    import inspect
+    from pathlib import Path
+
+    from ..lint import certificates_for_modules, load_modules
+    from ..localmodel import MessageMeter, SyncNetwork
+
+    cls, g, factory = _c1_instance(program, n, seed)
+    meter = MessageMeter()
+    net = SyncNetwork(g, factory, sinks=[meter])
+    net.run(max_rounds=4 * n + 8)
+
+    source = Path(inspect.getsourcefile(cls) or "")
+    cert = next(
+        c
+        for c in certificates_for_modules(load_modules([source]))
+        if c.program == cls.__name__
+    )
+    return {
+        "program": program,
+        "n": len(g),
+        "rounds": len(meter.per_round),
+        "max_words": meter.max_payload_words,
+        "total_words": meter.total_payload_words,
+        "static_class": cert.message_class,
+        "horizon": cert.horizon,
+    }
 
 
 def x1_cell(

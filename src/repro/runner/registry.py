@@ -181,6 +181,18 @@ def _plan_x1(
     ]
 
 
+#: the C1 suite: every stock node program, in certificate-table order
+C1_PROGRAMS = ("bfs", "leader", "echo", "gather", "linial", "luby", "coloring")
+
+
+def _plan_c1(programs=C1_PROGRAMS, ns=(16, 32, 64), seed=0):
+    return [
+        CellSpec("C1", "c1_cell", {"program": p, "n": n, "seed": seed})
+        for p in programs
+        for n in ns
+    ]
+
+
 def _plan_k1(
     families=("ktree3", "interval", "path"),
     ns=(10000, 30000, 100000),
@@ -419,6 +431,33 @@ def _render_x1(specs, values):
     )
 
 
+def _render_c1(specs, values):
+    ns = sorted({s.params["n"] for s in specs})
+    rows = []
+    for program, cells in _groups(specs, values, lambda s: s.params["program"]):
+        if not cells:
+            continue
+        static_class = cells[0][1]["static_class"]
+        horizon = cells[0][1]["horizon"] or "-"
+        words = {s.params["n"]: v["max_words"] for s, v in cells}
+        series = [words.get(n, "-") for n in ns]
+        measured = [w for w in series if w != "-"]
+        growth = (
+            round(measured[-1] / max(1, measured[0]), 2) if len(measured) > 1 else "-"
+        )
+        rows.append((program, static_class, horizon) + tuple(series) + (growth,))
+    header = (
+        ["program", "static class", "horizon"]
+        + [f"max words n={n}" for n in ns]
+        + ["growth"]
+    )
+    return (
+        "(static certificate vs metered payload; a `const` row must stay"
+        " flat as n grows, `ball` is bounded by the horizon attribute)\n\n"
+        + format_table(header, rows)
+    )
+
+
 def _render_k1(specs, values):
     rows = [
         (
@@ -543,6 +582,19 @@ REGISTRY: Dict[str, Experiment] = {
             _plan_k1,
             _render_k1,
             {"ns": (10000, 30000, 100000), "threshold": 12},
+        ),
+        Experiment(
+            "C1",
+            "CONGEST readiness: metered payload words vs static certificate",
+            (
+                "repro.localmodel",
+                "repro.lint",
+                "repro.baselines",
+                "repro.graphs.generators",
+            ),
+            _plan_c1,
+            _render_c1,
+            {"programs": C1_PROGRAMS, "ns": (16, 32, 64)},
         ),
     ]
 }

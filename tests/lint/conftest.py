@@ -20,6 +20,8 @@ from repro.lint import analyze_paths
 REPRO_PACKAGE = Path(repro.__file__).resolve().parent
 FIXTURES_DIR = Path(__file__).resolve().parent / "fixtures"
 CHEATERS = FIXTURES_DIR / "cheating_programs.py"
+BANDWIDTH_CHEATERS = FIXTURES_DIR / "bandwidth_programs.py"
+BASELINE = Path(__file__).resolve().parents[2] / "tools" / "lint_baseline.json"
 
 
 @pytest.fixture(scope="session")
@@ -32,3 +34,9 @@ def package_findings():
 def cheater_findings():
     """Lint findings for the deliberately nonconforming fixture programs."""
     return analyze_paths([CHEATERS])
+
+
+@pytest.fixture(scope="session")
+def bandwidth_findings():
+    """Lint findings for the deliberately bandwidth-leaky fixture programs."""
+    return analyze_paths([BANDWIDTH_CHEATERS])

@@ -451,7 +451,7 @@ class TestSuppressions:
 
     def test_unknown_code_raises(self):
         with pytest.raises(ValueError, match="unknown repro-lint rule"):
-            parse_suppressions("x = 1  # repro-lint: disable=L9\n")
+            parse_suppressions("x = 1  # repro-lint: disable=L99\n")
 
     def test_late_disable_file_raises(self):
         src = "x = 1\n# repro-lint: disable-file=L3\n"
@@ -480,11 +480,17 @@ class TestReporting:
 
     def test_json_summary_counts_active_only(self):
         report = json.loads(format_json(self.FINDINGS, show_suppressed=True))
-        assert report["summary"] == {"total": 1, "by_rule": {"L3": 1}}
+        assert report["summary"] == {
+            "total": 1,
+            "by_rule": {"L3": 1},
+            "suppressed_count": 1,
+        }
         assert len(report["findings"]) == 2
 
     def test_normalize_codes(self):
         assert normalize_codes("l1, L3") == frozenset({"L1", "L3"})
-        assert normalize_codes("all") == frozenset({"L1", "L2", "L3", "L4", "L5", "L6"})
+        assert normalize_codes("all") == frozenset(
+            {"L1", "L2", "L3", "L4", "L5", "L6", "L7", "L8", "L9"}
+        )
         with pytest.raises(ValueError):
-            normalize_codes("L7")
+            normalize_codes("L42")

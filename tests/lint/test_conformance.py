@@ -31,12 +31,36 @@ from .fixtures.cheating_programs import (
 
 
 class TestPackageConformance:
-    def test_repro_package_is_clean(self, package_findings):
-        assert active_findings(package_findings) == []
+    def test_repro_package_is_clean_modulo_baseline(self, package_findings):
+        """Every active finding is excused, by name, in the checked-in baseline."""
+        from repro.lint import apply_baseline, load_baseline
 
-    def test_cli_exits_zero_on_package(self, capsys):
-        assert lint_main([]) == 0
-        assert "0 findings" in capsys.readouterr().out
+        from .conftest import BASELINE
+
+        entries = load_baseline(BASELINE)
+        remaining, baselined, unused = apply_baseline(
+            active_findings(package_findings), entries
+        )
+        assert remaining == []
+        assert unused == []
+        assert {(e.rule, e.symbol) for e in entries} == {
+            (f.rule, f.symbol) for f in baselined
+        }
+
+    def test_cli_exits_zero_on_package_with_baseline(self, capsys):
+        from .conftest import BASELINE
+
+        assert lint_main(["--baseline", str(BASELINE)]) == 0
+        out = capsys.readouterr().out
+        assert "0 findings" in out
+        assert "excused by baseline" in out
+
+    def test_cli_exits_nonzero_on_package_without_baseline(self, capsys):
+        # the one tolerated L9 (LinialPathProgram's inbox materialization,
+        # shadow-verified order-insensitive) is active without the baseline
+        assert lint_main([]) == 1
+        out = capsys.readouterr().out
+        assert "L9" in out and "LinialPathProgram" in out
 
 
 class TestStaticDetection:

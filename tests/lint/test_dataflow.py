@@ -1,0 +1,276 @@
+"""Unit tests for the message-size abstract interpretation (L7-L9 core).
+
+Everything here is static: tiny inline programs exercise one lattice or
+classification decision each, and the shipped programs' certificates are
+pinned so a certifier regression shows up as a diff against the table
+``repro lint --congest`` prints.  The dynamic cross-validation (meter
+and shadow runs) lives in ``test_bandwidth.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+import pytest
+
+from repro.lint import (
+    ACC,
+    MSG,
+    WORD,
+    analyze_dataflow,
+    analyze_source,
+    certify,
+)
+from repro.lint.analyzer import _ModuleInfo
+from repro.lint.suppressions import parse_suppressions
+
+from .conftest import BANDWIDTH_CHEATERS, REPRO_PACKAGE
+
+HEADER = """
+from repro.localmodel.network import NodeProgram
+"""
+
+
+def dataflows(body: str):
+    src = HEADER + textwrap.dedent(body)
+    info = _ModuleInfo("<test>", ast.parse(src), parse_suppressions(src))
+    return {df.name: df for df in analyze_dataflow([info])}
+
+
+def classify(body: str) -> str:
+    (df,) = dataflows(body).values()
+    return certify(df).message_class
+
+
+def rules_fired(body: str):
+    src = HEADER + textwrap.dedent(body)
+    return {f.rule for f in analyze_source(src)}
+
+
+class TestSizeLattice:
+    def test_scalar_broadcast_is_const(self):
+        assert classify("""
+            class P(NodeProgram):
+                def step(self, ctx):
+                    return self.broadcast(self.node)
+        """) == "const"
+
+    def test_forwarding_one_message_is_const_with_assumption(self):
+        (df,) = dataflows("""
+            class P(NodeProgram):
+                def step(self, ctx):
+                    for sender, payload in ctx.inbox.items():
+                        return self.broadcast(payload)
+                    return {}
+        """).values()
+        cert = certify(df)
+        assert cert.message_class == "const"
+        assert df.max_payload_size == MSG
+        assert any("forward" in a for a in cert.assumptions)
+
+    def test_whole_inbox_capture_is_acc(self):
+        (df,) = dataflows("""
+            class P(NodeProgram):
+                def step(self, ctx):
+                    return self.broadcast(list(ctx.inbox.values()))
+        """).values()
+        assert df.max_payload_size == ACC
+
+    def test_word_producing_builtins_collapse_to_word(self):
+        (df,) = dataflows("""
+            class P(NodeProgram):
+                def step(self, ctx):
+                    return self.broadcast(len(list(ctx.inbox.values())) + 1)
+        """).values()
+        assert df.max_payload_size == WORD
+
+    def test_silent_program_has_no_payload(self):
+        assert classify("""
+            class P(NodeProgram):
+                def step(self, ctx):
+                    self.done = True
+                    return {}
+        """) == "silent"
+
+
+class TestAccumulators:
+    ACCUMULATING = """
+        class P(NodeProgram):
+            def __init__(self, node, neighbors):
+                super().__init__(node, neighbors)
+                self.seen = {}
+            def step(self, ctx):
+                self.seen.update(ctx.inbox)
+                return self.broadcast(dict(self.seen))
+    """
+
+    def test_update_from_inbox_marks_inbox_fed_accumulator(self):
+        (df,) = dataflows(self.ACCUMULATING).values()
+        assert list(df.accumulators) == ["seen"]
+        assert df.accumulators["seen"].inbox_fed
+
+    def test_accumulator_without_horizon_is_unbounded(self):
+        assert classify(self.ACCUMULATING) == "unbounded"
+
+    def test_round_horizon_bounds_the_accumulator_to_ball(self):
+        body = """
+            class P(NodeProgram):
+                def __init__(self, node, neighbors, radius):
+                    super().__init__(node, neighbors)
+                    self.radius = radius
+                    self.seen = {}
+                def step(self, ctx):
+                    self.seen.update(ctx.inbox)
+                    if ctx.round_number >= self.radius:
+                        self.done = True
+                        return {}
+                    return self.broadcast(dict(self.seen))
+        """
+        (df,) = dataflows(body).values()
+        cert = certify(df)
+        assert cert.message_class == "ball"
+        assert cert.horizon == "radius"
+
+    def test_pure_rebind_is_not_growth(self):
+        # the Linial shape: self.color = f(self.color, ...) re-derives a
+        # scalar from the old value -- referencing the old attr is not
+        # accumulation unless the new value splices it into a container
+        (df,) = dataflows("""
+            class P(NodeProgram):
+                def __init__(self, node, neighbors):
+                    super().__init__(node, neighbors)
+                    self.color = node
+                def step(self, ctx):
+                    self.color = (self.color * 2 + 1) % 7
+                    return self.broadcast(self.color)
+        """).values()
+        assert df.accumulators == {}
+        assert certify(df).message_class == "const"
+
+    def test_splicing_rebind_is_growth(self):
+        (df,) = dataflows("""
+            class P(NodeProgram):
+                def __init__(self, node, neighbors):
+                    super().__init__(node, neighbors)
+                    self.log = []
+                def step(self, ctx):
+                    self.log = self.log + [ctx.round_number]
+                    return self.broadcast(self.log)
+        """).values()
+        assert list(df.accumulators) == ["log"]
+
+
+class TestInterprocedural:
+    def test_helper_method_summary_propagates_acc(self):
+        assert classify("""
+            class P(NodeProgram):
+                def snapshot(self, ctx):
+                    return dict(ctx.inbox)
+                def step(self, ctx):
+                    return self.broadcast(self.snapshot(ctx))
+        """) == "unbounded"
+
+    def test_module_function_summary_propagates_word(self):
+        assert classify("""
+            def squash(values):
+                return max(values, default=0)
+            class P(NodeProgram):
+                def step(self, ctx):
+                    return self.broadcast(squash(ctx.inbox.values()))
+        """) == "const"
+
+
+class TestRuleEmission:
+    def test_l7_fires_on_unbounded_growth(self):
+        assert "L7" in rules_fired(TestAccumulators.ACCUMULATING)
+
+    def test_l8_fires_when_horizon_ignores_declared_radius(self):
+        body = """
+            class P(NodeProgram):
+                def __init__(self, node, neighbors, radius):
+                    super().__init__(node, neighbors)
+                    self.radius = radius
+                    self.budget = 2 * radius
+                    self.seen = {}
+                def step(self, ctx):
+                    self.seen.update(ctx.inbox)
+                    if ctx.round_number >= self.budget:
+                        self.done = True
+                        return {}
+                    return self.broadcast(dict(self.seen))
+        """
+        assert "L8" in rules_fired(body)
+        assert "L7" not in rules_fired(body)
+
+    def test_l9_fires_on_first_inbox_entry(self):
+        assert "L9" in rules_fired("""
+            class P(NodeProgram):
+                def step(self, ctx):
+                    first = next(iter(ctx.inbox.values()))
+                    return self.broadcast(first)
+        """)
+
+    def test_sorted_inbox_iteration_is_not_a_hazard(self):
+        assert rules_fired("""
+            class P(NodeProgram):
+                def step(self, ctx):
+                    total = sum(sorted(ctx.inbox.values()))
+                    self.done = True
+                    self.output = total
+                    return self.broadcast(total)
+        """) == set()
+
+
+class TestShippedCertificates:
+    """Pin the `repro lint --congest` table for the stock programs."""
+
+    EXPECTED = {
+        "BFSLayerProgram": ("const", None),
+        "LeaderElectionProgram": ("const", None),
+        "EchoCountProgram": ("const", None),
+        "BallGatherProgram": ("ball", "radius"),
+        "LinialPathProgram": ("const", None),
+        "LubyMISProgram": ("const", None),
+        "RandomizedColoringProgram": ("const", None),
+    }
+
+    @pytest.fixture(scope="class")
+    def package_certs(self):
+        from repro.lint import certificates_for_modules, load_modules
+
+        certs = certificates_for_modules(load_modules([REPRO_PACKAGE]))
+        return {c.program: c for c in certs}
+
+    def test_every_stock_program_is_certified(self, package_certs):
+        assert set(self.EXPECTED) <= set(package_certs)
+
+    @pytest.mark.parametrize("program", sorted(EXPECTED))
+    def test_certificate_class_and_horizon(self, package_certs, program):
+        cert = package_certs[program]
+        assert (cert.message_class, cert.horizon) == self.EXPECTED[program]
+
+    def test_no_shipped_program_is_unbounded(self, package_certs):
+        assert all(c.message_class != "unbounded" for c in package_certs.values())
+
+
+class TestFixtureCertificates:
+    @pytest.fixture(scope="class")
+    def fixture_certs(self):
+        from repro.lint import certificates_for_modules, load_modules
+
+        certs = certificates_for_modules(load_modules([BANDWIDTH_CHEATERS]))
+        return {c.program: c for c in certs}
+
+    def test_flood_is_unbounded(self, fixture_certs):
+        assert fixture_certs["EndlessFloodProgram"].message_class == "unbounded"
+
+    def test_leaky_gather_is_a_ball_past_its_radius(self, fixture_certs):
+        cert = fixture_certs["LeakyGatherProgram"]
+        assert cert.message_class == "ball"
+        assert cert.horizon == "budget"
+
+    def test_gossip_is_const_but_hazardous(self, fixture_certs):
+        cert = fixture_certs["GossipOrderProgram"]
+        assert cert.message_class == "const"
+        assert cert.hazards >= 1

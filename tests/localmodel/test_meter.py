@@ -1,0 +1,86 @@
+"""Unit tests for the payload meter (`repro.localmodel.meter`)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graphs import path_graph
+from repro.localmodel import (
+    EchoCountProgram,
+    MessageMeter,
+    SyncNetwork,
+    payload_bytes,
+    payload_words,
+)
+
+
+class TestPayloadWords:
+    def test_scalars_are_one_word(self):
+        for payload in (0, 3.5, "tag", True, None):
+            assert payload_words(payload) == 1
+
+    def test_containers_sum_their_leaves(self):
+        assert payload_words([1, 2, 3]) == 3
+        assert payload_words((1, (2, 3))) == 3
+        assert payload_words({1, 2}) == 2
+
+    def test_dict_charges_keys_and_values(self):
+        assert payload_words({"a": 1, "b": [2, 3]}) == 5
+
+    def test_empty_containers_still_cost_one_word(self):
+        assert payload_words([]) == 1
+        assert payload_words({}) == 1
+
+    def test_dataclass_payload_measures_its_fields(self):
+        @dataclass
+        class Ball:
+            center: int
+            members: list
+
+        # canonical form is {"Ball": {"center": ..., "members": [...]}}:
+        # the class-name key, two field names, and three scalar leaves
+        assert payload_words(Ball(7, [1, 2])) == 6
+
+    def test_bytes_track_serialized_length(self):
+        assert payload_bytes(7) == 1
+        assert payload_bytes([10, 20]) == len("[10, 20]")
+
+
+class TestMessageMeter:
+    def run_metered(self, graph, factory):
+        meter = MessageMeter()
+        SyncNetwork(graph, factory, sinks=[meter]).run(max_rounds=100)
+        return meter
+
+    def test_echo_run_measures_single_word_messages(self):
+        meter = self.run_metered(
+            path_graph(5), lambda v, nbrs: EchoCountProgram(v, nbrs, 0)
+        )
+        assert meter.max_payload_words == 1
+        assert meter.total_payload_words == sum(
+            r["total_words"] for r in meter.per_round
+        )
+
+    def test_per_round_series_is_contiguous(self):
+        meter = self.run_metered(
+            path_graph(5), lambda v, nbrs: EchoCountProgram(v, nbrs, 0)
+        )
+        assert [r["round"] for r in meter.per_round] == list(
+            range(len(meter.per_round))
+        )
+
+    def test_summary_reports_the_maxima(self):
+        meter = self.run_metered(
+            path_graph(5), lambda v, nbrs: EchoCountProgram(v, nbrs, 0)
+        )
+        summary = meter.summary()
+        assert summary["max_payload_words"] == meter.max_payload_words
+        assert summary["rounds"] == len(meter.per_round)
+
+    def test_silent_rounds_measure_zero(self):
+        meter = self.run_metered(
+            path_graph(5), lambda v, nbrs: EchoCountProgram(v, nbrs, 0)
+        )
+        # the final wrap-up round delivers nothing
+        assert meter.per_round[-1]["messages"] == 0
+        assert meter.per_round[-1]["max_words"] == 0

@@ -1,0 +1,144 @@
+"""Unit tests for shadow execution (`repro.localmodel.shadow`)."""
+
+from __future__ import annotations
+
+from typing import List, Mapping
+
+from repro.graphs import cycle_graph, path_graph
+from repro.graphs.adjacency import Vertex
+from repro.localmodel import (
+    BallGatherProgram,
+    EchoCountProgram,
+    SyncNetwork,
+    canonical_transcript,
+    shadow_check,
+)
+from repro.localmodel.network import NodeContext, NodeProgram
+from repro.localmodel.trace import RecordingSink
+
+
+class FirstVoiceProgram(NodeProgram):
+    """Order-sensitive on purpose: outputs the first-iterated sender."""
+
+    always_active = True
+
+    def step(self, ctx: NodeContext) -> Mapping[Vertex, object]:
+        if ctx.round_number == 0:
+            return self.broadcast(self.node)
+        self.done = True
+        self.output = next(iter(ctx.inbox)) if ctx.inbox else None
+        return {}
+
+
+class RelayVoiceProgram(NodeProgram):
+    """Ships order into the *transcript*: relays the first-iterated value."""
+
+    always_active = True
+
+    def step(self, ctx: NodeContext) -> Mapping[Vertex, object]:
+        if ctx.round_number == 0:
+            return self.broadcast(self.node)
+        if ctx.round_number == 1:
+            first = next(iter(ctx.inbox.values())) if ctx.inbox else None
+            return self.broadcast(("relay", first))
+        self.done = True
+        self.output = True
+        return {}
+
+
+class SetVoiceProgram(NodeProgram):
+    """Same shape, but reads the inbox as a set -- order-insensitive."""
+
+    always_active = True
+
+    def step(self, ctx: NodeContext) -> Mapping[Vertex, object]:
+        if ctx.round_number == 0:
+            return self.broadcast(self.node)
+        self.done = True
+        self.output = min(ctx.inbox) if ctx.inbox else None
+        return {}
+
+
+class TestInboxPermutation:
+    def test_same_seed_permutes_identically_across_runs(self):
+        runs = [
+            SyncNetwork(cycle_graph(7), FirstVoiceProgram, inbox_order=5).run()
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+
+    def test_different_seeds_expose_order_sensitivity(self):
+        baseline = SyncNetwork(cycle_graph(7), FirstVoiceProgram).run()
+        permuted = SyncNetwork(
+            cycle_graph(7), FirstVoiceProgram, inbox_order=1
+        ).run()
+        assert baseline != permuted
+
+    def test_permutation_is_invisible_to_order_insensitive_programs(self):
+        baseline = SyncNetwork(cycle_graph(7), SetVoiceProgram).run()
+        for seed in (1, 2, 3):
+            assert (
+                SyncNetwork(cycle_graph(7), SetVoiceProgram, inbox_order=seed).run()
+                == baseline
+            )
+
+
+class TestShadowCheck:
+    def test_order_sensitive_program_diverges(self):
+        report = shadow_check(cycle_graph(7), FirstVoiceProgram)
+        assert not report.deterministic
+        assert {d.seed for d in report.divergences} <= set(report.seeds)
+        assert all(d.kind in ("transcript", "outputs", "rounds") for d in report.divergences)
+
+    def test_order_insensitive_program_passes(self):
+        report = shadow_check(cycle_graph(7), SetVoiceProgram)
+        assert report.deterministic
+        assert report.divergences == []
+
+    def test_stock_programs_pass(self):
+        report = shadow_check(
+            path_graph(6), lambda v, nbrs: EchoCountProgram(v, nbrs, 0)
+        )
+        assert report.deterministic
+        report = shadow_check(
+            cycle_graph(8), lambda v, nbrs: BallGatherProgram(v, nbrs, 2, ("s", v))
+        )
+        assert report.deterministic
+
+    def test_custom_seed_list_is_respected(self):
+        report = shadow_check(cycle_graph(7), SetVoiceProgram, seeds=(42,))
+        assert report.seeds == (42,)
+        assert report.deterministic
+
+    def test_divergence_detail_is_human_readable(self):
+        report = shadow_check(cycle_graph(7), FirstVoiceProgram)
+        assert report.divergences
+        assert all(isinstance(d.detail, str) and d.detail for d in report.divergences)
+
+
+class TestCanonicalTranscript:
+    def record(self, graph, factory, inbox_order=None):
+        sink = RecordingSink()
+        SyncNetwork(graph, factory, sinks=[sink], inbox_order=inbox_order).run()
+        return sink
+
+    def test_transcript_is_stable_for_conforming_programs(self):
+        a = canonical_transcript(self.record(cycle_graph(6), SetVoiceProgram))
+        b = canonical_transcript(
+            self.record(cycle_graph(6), SetVoiceProgram, inbox_order=3)
+        )
+        assert a == b
+
+    def test_transcript_differs_for_order_shippers(self):
+        a = canonical_transcript(self.record(cycle_graph(6), RelayVoiceProgram))
+        b = canonical_transcript(
+            self.record(cycle_graph(6), RelayVoiceProgram, inbox_order=3)
+        )
+        assert a != b
+
+    def test_messages_sort_by_sender_receiver_within_a_round(self):
+        transcript = canonical_transcript(
+            self.record(path_graph(4), lambda v, nbrs: EchoCountProgram(v, nbrs, 0))
+        )
+        for round_messages in transcript:
+            assert round_messages == sorted(round_messages)

@@ -177,10 +177,18 @@ class TestRun:
 
 
 class TestLint:
-    def test_package_is_clean_via_cli(self):
-        code, out = run_cli(["lint"])
+    def test_package_is_clean_via_cli_with_baseline(self):
+        from tests.lint.conftest import BASELINE
+
+        code, out = run_cli(["lint", "--baseline", str(BASELINE)])
         assert code == 0
         assert "0 findings" in out
+
+    def test_package_needs_baseline(self):
+        # Without the baseline the shipped LinialPathProgram L9 stays active.
+        code, out = run_cli(["lint"])
+        assert code == 1
+        assert "L9" in out
 
     def test_violations_reported_with_locations(self):
         from tests.lint.conftest import CHEATERS

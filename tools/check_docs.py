@@ -15,6 +15,10 @@ instructions can never silently rot:
   registered experiment id;
 * ``docs/tracing.md`` must exist and document the trace-sink surface
   (``TraceSink``, ``on_round``, the stock sinks, ``repro trace``);
+* ``docs/lint.md`` must exist, carry a ``### Lx — ...`` section (with a
+  minimal triggering example) for every registered lint rule, and name
+  the bandwidth/sanitizer surface (``--congest``, ``--sanitize``, the
+  baseline file, ``MessageMeter``, ``shadow_check``);
 * ``docs/kernels.md`` must exist and document the kernel substrate
   (``GraphIndex``, the ``graph_index`` version-keyed cache, the bitset
   cutoff, ``bench_kernels`` / ``BENCH_kernels.json``).
@@ -179,6 +183,36 @@ def check(root: Path) -> List[str]:
                 problems.append(
                     f"docs/tracing.md: {term!r} is never mentioned (the "
                     "trace-sink surface must stay documented)"
+                )
+
+    lint_doc = root / "docs" / "lint.md"
+    if not lint_doc.is_file():
+        problems.append("docs/lint.md: file missing")
+    else:
+        text = lint_doc.read_text()
+        from repro.lint import ALL_RULE_CODES
+
+        for code in sorted(ALL_RULE_CODES):
+            if f"### {code} " not in text:
+                problems.append(
+                    f"docs/lint.md: rule {code!r} has no '### {code} — ...' "
+                    "section (every rule needs a minimal triggering example)"
+                )
+        for term in (
+            "--congest",
+            "--sanitize",
+            "--baseline",
+            "--write-baseline",
+            "lint_baseline.json",
+            "MessageMeter",
+            "shadow_check",
+            "inbox_order",
+            "suppressed_count",
+        ):
+            if term not in text:
+                problems.append(
+                    f"docs/lint.md: {term!r} is never mentioned (the "
+                    "conformance surface must stay documented)"
                 )
 
     kernels_doc = root / "docs" / "kernels.md"
