@@ -13,7 +13,11 @@ Commands:
 * ``lint [PATHS...]``  -- LOCAL-model conformance linter (see ``repro.lint``)
 * ``trace GRAPH``      -- run a stock message-passing program with trace
   sinks attached: per-round metrics, an optional ``--timeline``, and
-  ``--jsonl`` export (schema in docs/tracing.md)
+  ``--jsonl`` export (schema in docs/tracing.md); ``--faults SPEC``
+  attaches a fault plan (grammar in docs/faults.md)
+* ``faults``           -- fault-injection front-end: a single run under a
+  ``--plan`` with validity monitoring, or ``--sweep`` to classify every
+  stock program as self-healing / degraded-but-valid / unsafe
 
 ``GRAPH`` is an edge-list file (see :mod:`repro.graphs.io`); ``-`` reads
 stdin.  Non-chordal inputs are rejected unless ``--triangulate`` is given,
@@ -143,7 +147,39 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write one JSON object per round to PATH")
     trace.add_argument("--no-payloads", action="store_true",
                        help="omit message payloads from the JSONL trace")
+    trace.add_argument("--faults", default="", metavar="SPEC",
+                       help="fault plan, e.g. 'drop=0.1,delay=0.05:2,seed=3' "
+                       "(grammar in docs/faults.md)")
     trace.add_argument("--max-rounds", type=int, default=10_000)
+
+    faults = sub.add_parser(
+        "faults", help="fault-injection runs and the resilience sweep"
+    )
+    faults.add_argument("graph", nargs="?",
+                        help="edge-list file for a single run (omit with --sweep)")
+    faults.add_argument("--plan", default="", metavar="SPEC",
+                        help="fault plan: drop=P,dup=P,delay=P:K,burst=R1-R2,"
+                        "crash=V@R[-R2],seed=N (grammar in docs/faults.md)")
+    faults.add_argument("--program", choices=sorted(TRACE_PROGRAMS), default="bfs",
+                        help="stock NodeProgram for a single run (default: bfs)")
+    faults.add_argument("--root", type=int, default=None,
+                        help="root vertex for bfs/echo (default: smallest id)")
+    faults.add_argument("--radius", type=int, default=2,
+                        help="gathering radius for --program gather")
+    faults.add_argument("--seed", type=int, default=0,
+                        help="seed for the randomized programs (luby, coloring)")
+    faults.add_argument("--sweep", action="store_true",
+                        help="classify every stock program under the default "
+                        "fault grid (self-healing / degraded-but-valid / unsafe)")
+    faults.add_argument("--retries", action="store_true",
+                        help="wrap programs in the retry/ack envelope "
+                        "(ReliableProgram)")
+    faults.add_argument("--drops", default=None, metavar="P1,P2,...",
+                        help="sweep drop rates (default: 0.05,0.15,0.3)")
+    faults.add_argument("--format", choices=("text", "json"), default="text")
+    faults.add_argument("--timeline", action="store_true",
+                        help="print the per-round timeline of a single run")
+    faults.add_argument("--max-rounds", type=int, default=10_000)
 
     lint = sub.add_parser(
         "lint", help="check NodeProgram classes for LOCAL-model conformance"
@@ -266,6 +302,15 @@ def _cmd_trace(args, out) -> int:
         return 0
     factory, describe = _trace_factory(args, graph)
 
+    plan = None
+    if args.faults:
+        from .localmodel import FaultPlan, FaultPlanError
+
+        try:
+            plan = FaultPlan.parse(args.faults)
+        except FaultPlanError as exc:
+            raise SystemExit(f"bad --faults spec: {exc}")
+
     metrics = MetricsSink()
     sinks = [metrics]
     jsonl_sink = None
@@ -278,6 +323,7 @@ def _cmd_trace(args, out) -> int:
         sealed=args.sealed,
         scheduler=args.scheduler,
         sinks=sinks,
+        faults=plan,
     )
     try:
         outputs = traced.run(max_rounds=args.max_rounds)
@@ -309,6 +355,13 @@ def _cmd_trace(args, out) -> int:
         file=out,
     )
     print(describe(outputs), file=out)
+    if plan is not None and not plan.is_empty():
+        summary_faults = traced.network.fault_summary() or {}
+        print(
+            "faults injected: "
+            + "  ".join(f"{k}: {v}" for k, v in summary_faults.items()),
+            file=out,
+        )
     if jsonl_sink is not None:
         print(
             f"trace written to {args.jsonl} ({jsonl_sink.rounds_written} rounds)",
@@ -317,6 +370,202 @@ def _cmd_trace(args, out) -> int:
     if args.timeline:
         print(traced.timeline(), file=out)
     return 0
+
+
+#: ``repro faults`` validator kind per stock program (see ``stock_validator``).
+FAULT_VALIDATORS = {
+    "bfs": "bfs",
+    "leader": "leader",
+    "echo": "echo",
+    "gather": "gather",
+    "luby": "mis",
+    "coloring": "coloring",
+    "linial": "coloring",
+}
+
+
+def _faults_suite():
+    """(name, graph, factory, validator) for the ``--sweep`` classification.
+
+    Programs and graphs come from the ``lint --sanitize`` suite so the
+    classification covers exactly the stock inventory; each entry pairs
+    the program with its safety validator (properness, independence,
+    distance lower bounds, ...) from :mod:`repro.localmodel.resilience`.
+    """
+    from .lint.cli import _sanitize_suite
+    from .localmodel import stock_validator, vertex_key
+
+    suite = []
+    for name, graph, factory in _sanitize_suite():
+        kind = FAULT_VALIDATORS[name]
+        root = None
+        if kind == "bfs":
+            root = min(graph.vertices(), key=vertex_key)
+        suite.append((name, graph, factory, stock_validator(kind, graph, root=root)))
+    return suite
+
+
+def _cmd_faults_sweep(args, out) -> int:
+    """``repro faults --sweep``: classify every stock program."""
+    from .analysis.tables import format_table
+    from .localmodel import fault_grid, resilience_check, with_retries
+
+    grid = fault_grid(
+        drop_rates=tuple(
+            float(tok) for tok in args.drops.split(",") if tok
+        ) if args.drops else (0.05, 0.15, 0.3)
+    )
+    results = []
+    for name, graph, factory, validator in _faults_suite():
+        if args.retries:
+            factory = with_retries(factory)
+        report = resilience_check(
+            graph, factory, validator, grid=grid, max_rounds=args.max_rounds
+        )
+        results.append((name, len(graph), report))
+
+    if args.format == "json":
+        payload = {
+            "retries": args.retries,
+            "grid": [plan.spec() for plan in grid],
+            "programs": [
+                {
+                    "program": name,
+                    "vertices": n,
+                    "classification": report.classification,
+                    "baseline_rounds": report.baseline_rounds,
+                    "rounds_to_recover": report.rounds_to_recover,
+                    "outcomes": [
+                        {
+                            "plan": o.plan,
+                            "complete": o.complete,
+                            "valid": o.valid,
+                            "matches_baseline": o.matches_baseline,
+                            "rounds": o.rounds,
+                            "extra_rounds": o.extra_rounds,
+                            "injected": o.injected,
+                            "problems": list(o.problems),
+                            "error": o.error,
+                        }
+                        for o in report.outcomes
+                    ],
+                }
+                for name, n, report in results
+            ],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True), file=out)
+    else:
+        rows = []
+        for name, n, report in results:
+            incomplete = sum(1 for o in report.outcomes if not o.complete)
+            invalid = sum(1 for o in report.outcomes if not o.valid)
+            recover = report.rounds_to_recover
+            rows.append((
+                name,
+                report.classification,
+                report.baseline_rounds,
+                "-" if recover is None else recover,
+                f"{len(report.outcomes) - incomplete}/{len(report.outcomes)}",
+                invalid,
+            ))
+        print(
+            format_table(
+                ["program", "classification", "base rounds", "worst extra",
+                 "completed", "invalid"],
+                rows,
+            ),
+            file=out,
+        )
+    return 0
+
+
+def _cmd_faults(args, out) -> int:
+    """The ``repro faults`` front-end (single run or classification sweep)."""
+    from .localmodel import (
+        FaultPlan,
+        FaultPlanError,
+        MetricsSink,
+        TracedNetwork,
+        ValidityMonitor,
+        stock_validator,
+        vertex_key,
+        with_retries,
+    )
+
+    if args.sweep:
+        return _cmd_faults_sweep(args, out)
+    if not args.graph:
+        raise SystemExit("repro faults: provide a GRAPH file or use --sweep")
+    try:
+        plan = FaultPlan.parse(args.plan)
+    except FaultPlanError as exc:
+        raise SystemExit(f"bad --plan spec: {exc}")
+
+    graph = _read_graph(args.graph)
+    if len(graph) == 0:
+        print("graph is empty; nothing to run", file=out)
+        return 0
+    factory, describe = _trace_factory(args, graph)
+    if args.retries:
+        factory = with_retries(factory)
+
+    kind = FAULT_VALIDATORS[args.program]
+    root = args.root
+    if root is None:
+        root = min(graph.vertices(), key=vertex_key)
+    validator = stock_validator(kind, graph, root=root if kind == "bfs" else None)
+
+    metrics = MetricsSink()
+    traced = TracedNetwork(graph, factory, sinks=[metrics], faults=plan)
+    monitor = ValidityMonitor(traced.network, validator)
+    traced.network.add_sink(monitor)
+
+    outputs = None
+    error = None
+    try:
+        outputs = traced.run(max_rounds=args.max_rounds)
+    except RuntimeError as exc:
+        error = str(exc).splitlines()[0]
+
+    summary = metrics.summary()
+    print(
+        f"{args.program} on {len(graph)} vertices under "
+        f"plan '{plan.spec() or 'none'}'"
+        f"{' with retries' if args.retries else ''}",
+        file=out,
+    )
+    print(
+        f"rounds: {summary['rounds']}  messages: {summary['messages']}  "
+        f"quiet rounds: {summary['quiet_rounds']}",
+        file=out,
+    )
+    injected = traced.network.fault_summary()
+    if injected is not None:
+        print(
+            "faults injected: "
+            + "  ".join(f"{k}: {v}" for k, v in injected.items()),
+            file=out,
+        )
+    crashed = traced.network.crashed_nodes()
+    if crashed:
+        print(f"still crashed: {', '.join(str(v) for v in crashed)}", file=out)
+    if error is not None:
+        print(f"run did not complete: {error}", file=out)
+    elif outputs is not None:
+        print(describe(outputs), file=out)
+    if monitor.first_violation_round is None:
+        print("output validity: OK (no round ever violated the invariant)",
+              file=out)
+    else:
+        _, problems = monitor.violations[-1]
+        print(
+            f"output validity: VIOLATED from round "
+            f"{monitor.first_violation_round}: {problems[0]}",
+            file=out,
+        )
+    if args.timeline:
+        print(traced.timeline(), file=out)
+    return 0 if monitor.first_violation_round is None else 1
 
 
 def _cmd_run(args, out) -> int:
@@ -478,6 +727,9 @@ def main(argv: Optional[list] = None, out=None) -> int:
 
     if args.command == "trace":
         return _cmd_trace(args, out)
+
+    if args.command == "faults":
+        return _cmd_faults(args, out)
 
     if args.command == "lint":
         from .lint.cli import main as lint_main

@@ -24,6 +24,13 @@
 * :mod:`repro.localmodel.shadow` -- shadow-execution determinism checker:
   re-runs a program with permuted inbox iteration order and diffs
   transcripts and outputs (the dynamic counterpart of lint rule L9).
+* :mod:`repro.localmodel.faults` -- deterministic fault injection:
+  seeded :class:`FaultPlan`\\ s (drop / duplicate / delay / burst /
+  crash) consulted by ``SyncNetwork(..., faults=...)`` at delivery time.
+* :mod:`repro.localmodel.resilience` -- the robustness harness: validity
+  monitors, the :class:`ReliableProgram` retry/ack wrapper, and the
+  :func:`resilience_check` sweep classifying programs as self-healing /
+  degraded-but-valid / unsafe (the ``repro faults`` CLI).
 """
 
 from .colorreduction import (
@@ -32,6 +39,13 @@ from .colorreduction import (
     linial_new_color,
     linial_parameters,
     three_color_path,
+)
+from .faults import (
+    MESSAGE_STATUSES,
+    CrashSpec,
+    FaultPlan,
+    FaultPlanError,
+    FaultRuntime,
 )
 from .gather import BallGatherProgram, KnownBall, gather_balls
 from .network import (
@@ -55,6 +69,20 @@ from .programs import (
 )
 from .meter import MessageMeter, payload_bytes, payload_words
 from .rounds import NodeClocks, RoundLedger
+from .resilience import (
+    CLASSIFICATIONS,
+    DEFAULT_FAULT_GRID,
+    FaultOutcome,
+    ReliableProgram,
+    ResilienceReport,
+    ValidityMonitor,
+    fault_grid,
+    independent_set_validator,
+    proper_coloring_validator,
+    resilience_check,
+    stock_validator,
+    with_retries,
+)
 from .shadow import Divergence, ShadowReport, canonical_transcript, shadow_check
 from .trace import (
     JSONLTraceSink,
@@ -77,6 +105,11 @@ __all__ = [
     "linial_new_color",
     "linial_parameters",
     "three_color_path",
+    "MESSAGE_STATUSES",
+    "CrashSpec",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultRuntime",
     "BallGatherProgram",
     "KnownBall",
     "gather_balls",
@@ -100,6 +133,18 @@ __all__ = [
     "payload_words",
     "NodeClocks",
     "RoundLedger",
+    "CLASSIFICATIONS",
+    "DEFAULT_FAULT_GRID",
+    "FaultOutcome",
+    "ReliableProgram",
+    "ResilienceReport",
+    "ValidityMonitor",
+    "fault_grid",
+    "independent_set_validator",
+    "proper_coloring_validator",
+    "resilience_check",
+    "stock_validator",
+    "with_retries",
     "Divergence",
     "ShadowReport",
     "canonical_transcript",

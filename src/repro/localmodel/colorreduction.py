@@ -200,6 +200,7 @@ class LinialPathProgram(NodeProgram):
     always_active = True
 
     def __init__(self, node: int, neighbors: List[int], id_bound: int):
+        """``id_bound`` bounds the initial color space (colors start as IDs)."""
         super().__init__(node, neighbors)
         if len(neighbors) > 2:
             raise ValueError("LinialPathProgram requires maximum degree 2")
@@ -210,6 +211,7 @@ class LinialPathProgram(NodeProgram):
         self.shifted = False
 
     def step(self, ctx: NodeContext) -> Mapping[int, int]:
+        """Advance one stage of the reduction schedule and announce the color."""
         nbr_colors = list(ctx.inbox.values())
         if ctx.round_number == 0:
             # First round: announce initial color (the ID).

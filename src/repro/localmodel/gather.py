@@ -69,6 +69,7 @@ class BallGatherProgram(NodeProgram):
     always_active = True
 
     def __init__(self, node: Vertex, neighbors: List[Vertex], radius: int, state: Any):
+        """Gather to ``radius``; ``state`` is this node's own contribution."""
         super().__init__(node, neighbors)
         self.radius = radius
         self._states: Dict[Vertex, Any] = {node: state}
@@ -77,6 +78,7 @@ class BallGatherProgram(NodeProgram):
         }
 
     def step(self, ctx: NodeContext) -> Mapping[Vertex, Any]:
+        """Merge received (states, edges), flood the union, stop at ``radius``."""
         for payload in ctx.inbox.values():
             states, edges = payload
             self._states.update(states)

@@ -68,6 +68,7 @@ class MessageMeter(TraceSink):
     """
 
     def __init__(self) -> None:
+        """Start with an empty per-round series and zeroed maxima."""
         self.per_round: List[Dict[str, int]] = []
         self.max_payload_words = 0
         self.max_payload_bytes = 0
@@ -80,6 +81,7 @@ class MessageMeter(TraceSink):
         completed: List[Vertex],
         active_count: int,
     ) -> None:
+        """Accumulate payload words/bytes over this round's messages."""
         round_max_words = 0
         round_words = 0
         round_max_bytes = 0
@@ -107,6 +109,7 @@ class MessageMeter(TraceSink):
             self.max_payload_bytes = round_max_bytes
 
     def summary(self) -> Dict[str, Any]:
+        """Headline figures: rounds, max/total payload words, max bytes."""
         return {
             "rounds": len(self.per_round),
             "max_payload_words": self.max_payload_words,

@@ -70,10 +70,24 @@ from __future__ import annotations
 import random
 import zlib
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Hashable, List, Mapping, Optional, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Hashable,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from ..graphs.adjacency import Graph, Vertex
 from .sealed import SealedContextError, SealedInbox, freeze
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from .faults import FaultPlan, FaultRuntime
 
 __all__ = [
     "NodeProgram",
@@ -105,11 +119,21 @@ def vertex_key(v: Vertex) -> Tuple[int, str, Any]:
 
 @dataclass(frozen=True)
 class MessageRecord:
-    """One delivered message, as reported to trace sinks."""
+    """One message event, as reported to trace sinks.
+
+    ``status`` is ``"delivered"`` on a reliable network.  Under fault
+    injection (:mod:`repro.localmodel.faults`) it tags what actually
+    happened: ``"dropped"`` (lost, including sends to a crashed node),
+    ``"delayed"`` (deferred; a matching ``"late"`` record appears at the
+    actual delivery round), or ``"duplicate"`` (a network-injected extra
+    copy).  Only ``delivered``/``late``/``duplicate`` records reach an
+    inbox.
+    """
 
     sender: Vertex
     receiver: Vertex
     payload: Any
+    status: str = "delivered"
 
 
 class TraceSink:
@@ -129,6 +153,7 @@ class TraceSink:
         completed: List[Vertex],
         active_count: int,
     ) -> None:
+        """Observe one executed round (see the class docstring for the contract)."""
         raise NotImplementedError
 
 
@@ -159,6 +184,7 @@ class SealedNodeContext(NodeContext):
     """
 
     def __init__(self, node, neighbors, round_number, inbox):
+        """Build the context, then flip the seal so mutation raises."""
         super().__init__(node, neighbors, round_number, inbox)
         object.__setattr__(self, "_sealed", True)
 
@@ -197,6 +223,7 @@ class NodeProgram:
     always_active = False
 
     def __init__(self, node: Vertex, neighbors: List[Vertex]):
+        """Bind identity: this ``node`` and its sorted ``neighbors`` list."""
         self.node = node
         self.neighbors = list(neighbors)
         self.done = False
@@ -204,9 +231,11 @@ class NodeProgram:
         self._wake_requested = False
 
     def step(self, ctx: NodeContext) -> Mapping[Vertex, Any]:
+        """Advance one round; return the outbox ``{neighbor: payload}``."""
         raise NotImplementedError
 
     def broadcast(self, message: Any) -> Dict[Vertex, Any]:
+        """An outbox sending ``message`` to every declared neighbor."""
         return {u: message for u in self.neighbors}
 
     def wake_next_round(self) -> None:
@@ -234,6 +263,7 @@ class RunStats:
     max_messages_per_round: int = 0
 
     def record_round(self, messages: int) -> None:
+        """Fold one executed round's message count into the totals."""
         self.rounds += 1
         self.messages_sent += messages
         self.max_messages_per_round = max(self.max_messages_per_round, messages)
@@ -256,6 +286,14 @@ class SyncNetwork:
     and orthogonal to the scheduler, so any of the four sealed x scheduler
     combinations is safe (just slightly slower with sealing) in tests.
 
+    ``faults`` attaches a :class:`~repro.localmodel.faults.FaultPlan`:
+    every delivery consults the plan (drop / duplicate / delay), crash
+    schedules unschedule nodes, and trace sinks receive the affected
+    :class:`MessageRecord`\\ s with a non-default ``status`` tag.  An
+    empty plan is behavior-preserving -- byte-identical transcripts,
+    outputs, and stats versus ``faults=None`` (regression-tested); see
+    :mod:`repro.localmodel.faults` for the guarantees.
+
     ``inbox_order`` is the shadow-execution knob of the determinism
     sanitizer (:mod:`repro.localmodel.shadow`): when set to an integer
     seed, every delivered inbox is rebuilt in a pseudorandom key order
@@ -275,7 +313,17 @@ class SyncNetwork:
         scheduler: str = "active",
         sinks: Optional[List[TraceSink]] = None,
         inbox_order: Optional[int] = None,
+        faults: Optional["FaultPlan"] = None,
     ):
+        """Instantiate one program per vertex and wire up the run machinery.
+
+        ``program_factory(v, sorted_neighbors)`` builds each node program;
+        ``sealed`` deep-freezes deliveries, ``scheduler`` picks
+        ``"active"``/``"dense"`` stepping, ``sinks`` observe every round,
+        ``inbox_order`` permutes inbox iteration (the sanitizer's knob),
+        and ``faults`` attaches a :class:`~repro.localmodel.faults
+        .FaultPlan` consulted at every delivery.
+        """
         if scheduler not in SCHEDULERS:
             raise ValueError(
                 f"unknown scheduler {scheduler!r}; expected one of {SCHEDULERS}"
@@ -288,6 +336,18 @@ class SyncNetwork:
         self.programs: Dict[Vertex, NodeProgram] = {
             v: program_factory(v, sorted(graph.neighbors_view(v))) for v in graph.vertices()
         }
+        self.faults = faults
+        if faults is None:
+            self._fault_runtime: Optional["FaultRuntime"] = None
+        else:
+            from .faults import FaultPlanError, FaultRuntime
+
+            for spec in faults.crashes:
+                if spec.node not in self.programs:
+                    raise FaultPlanError(
+                        f"crash schedule names unknown node {spec.node!r}"
+                    )
+            self._fault_runtime = FaultRuntime(faults)
         self.stats = RunStats()
         #: canonical stepping order (= vertex insertion order of the graph)
         self._order: Dict[Vertex, int] = {v: i for i, v in enumerate(self.programs)}
@@ -320,7 +380,14 @@ class SyncNetwork:
         for _round in range(max_rounds):
             if self._undone == 0:
                 return self.outputs()
-            if self.scheduler == "active" and not (self._active or self._always):
+            if (
+                self.scheduler == "active"
+                and not (self._active or self._always)
+                and not (
+                    self._fault_runtime is not None
+                    and self._fault_runtime.pending(self.stats.rounds)
+                )
+            ):
                 raise RuntimeError(
                     f"{self._undone} node(s) starved: still running, but no "
                     "messages are in flight and no program requested wakeup. "
@@ -358,17 +425,58 @@ class SyncNetwork:
 
     def _scheduled(self) -> List[Vertex]:
         """The nodes to step this round, in canonical order."""
+        crashed: Set[Vertex] = (
+            self._fault_runtime.crashed if self._fault_runtime is not None else set()
+        )
         if self.scheduler == "dense":
-            return [v for v, p in self.programs.items() if not p.done]
+            return [
+                v for v, p in self.programs.items()
+                if not p.done and v not in crashed
+            ]
         if self._always:
             chosen = self._active | self._always
         else:
             chosen = self._active
+        if crashed:
+            chosen = chosen - crashed
         return sorted(chosen, key=self._order.__getitem__)
+
+    def _apply_fault_transitions(self, round_no: int) -> None:
+        """Fire the plan's crash/recover events scheduled for this round."""
+        runtime = self._fault_runtime
+        assert runtime is not None
+        for spec in runtime.crashes_at(round_no):
+            v = spec.node
+            if v in runtime.crashed:
+                continue
+            program = self.programs[v]
+            runtime.crashed.add(v)
+            runtime.crash_events += 1
+            self._active.discard(v)
+            self._always.discard(v)
+            self._pending.pop(v, None)  # the undelivered inbox dies with it
+            program._wake_requested = False
+            if spec.recover_round is None and not program.done:
+                # crash-stop: this node will never finish; do not hold the
+                # run hostage waiting for it
+                self._undone -= 1
+        for v in runtime.recoveries_at(round_no):
+            if v not in runtime.crashed:
+                continue
+            runtime.crashed.discard(v)
+            runtime.recover_events += 1
+            program = self.programs[v]
+            if not program.done:
+                self._active.add(v)  # wake it so it notices the world moved on
+                if program.always_active:
+                    self._always.add(v)
 
     def step_round(self) -> None:
         """Advance the whole network by one synchronous round."""
         round_no = self.stats.rounds
+        runtime = self._fault_runtime
+        if runtime is not None and runtime.has_node_events:
+            self._apply_fault_transitions(round_no)
         scheduled = self._scheduled()
         outboxes: List[Tuple[Vertex, Mapping[Vertex, Any]]] = []
         completed: List[Vertex] = []
@@ -386,6 +494,26 @@ class SyncNetwork:
         message_count = 0
         new_pending: Dict[Vertex, Dict[Vertex, Any]] = {}
         records: Optional[List[MessageRecord]] = [] if self.sinks else None
+
+        # An inert plan (nothing randomized, no bursts, nobody crashed,
+        # nothing in flight) takes the exact reliable-network path below,
+        # so attaching an empty FaultPlan costs essentially nothing.
+        faults_active = runtime is not None and (
+            runtime.has_message_faults or runtime.crashed or runtime.in_flight
+        )
+
+        if runtime is not None and runtime.in_flight:
+            # Copies the fault layer kept in flight (delays, duplicates)
+            # land first, so a fresher direct send can overwrite them.
+            for sender, receiver, payload, status in runtime.matured(round_no):
+                if receiver in runtime.crashed:
+                    status = "dropped"
+                    runtime.dropped += 1
+                if records is not None:
+                    records.append(MessageRecord(sender, receiver, payload, status))
+                if status != "dropped" and not self.programs[receiver].done:
+                    new_pending.setdefault(receiver, {})[sender] = payload
+
         for sender, outbox in outboxes:
             for receiver, message in outbox.items():
                 if not self.graph.has_edge(sender, receiver):
@@ -394,6 +522,38 @@ class SyncNetwork:
                     )
                 payload = freeze(message) if self.sealed else message
                 message_count += 1
+                if faults_active:
+                    assert runtime is not None
+                    if receiver in runtime.crashed:
+                        runtime.dropped += 1
+                        if records is not None:
+                            records.append(
+                                MessageRecord(sender, receiver, payload, "dropped")
+                            )
+                        continue
+                    action, extra = self.faults.decide(round_no, sender, receiver)  # type: ignore[union-attr]
+                    if action == "drop":
+                        runtime.dropped += 1
+                        if records is not None:
+                            records.append(
+                                MessageRecord(sender, receiver, payload, "dropped")
+                            )
+                        continue
+                    if action == "delay":
+                        runtime.delayed += 1
+                        runtime.schedule(
+                            round_no + extra, sender, receiver, payload, "late"
+                        )
+                        if records is not None:
+                            records.append(
+                                MessageRecord(sender, receiver, payload, "delayed")
+                            )
+                        continue
+                    if action == "duplicate":
+                        runtime.duplicated += 1
+                        runtime.schedule(
+                            round_no + 1, sender, receiver, payload, "duplicate"
+                        )
                 if records is not None:
                     records.append(MessageRecord(sender, receiver, payload))
                 if not self.programs[receiver].done:
@@ -444,6 +604,18 @@ class SyncNetwork:
         self.sinks.append(sink)
         return sink
 
+    def fault_summary(self) -> Optional[Dict[str, int]]:
+        """Injection counters of the attached fault plan (None without one)."""
+        if self._fault_runtime is None:
+            return None
+        return self._fault_runtime.summary()
+
+    def crashed_nodes(self) -> List[Vertex]:
+        """The currently crashed nodes, in natural vertex order."""
+        if self._fault_runtime is None:
+            return []
+        return sorted(self._fault_runtime.crashed, key=vertex_key)
+
     def active_nodes(self) -> List[Vertex]:
         """The nodes the active-set scheduler would step next round."""
         return self._scheduled() if self.scheduler == "active" else [
@@ -451,4 +623,5 @@ class SyncNetwork:
         ]
 
     def outputs(self) -> Dict[Vertex, Any]:
+        """Snapshot of ``{node: program.output}`` (``None`` while undecided)."""
         return {v: p.output for v, p in self.programs.items()}

@@ -42,12 +42,14 @@ class BFSLayerProgram(NodeProgram):
     always_active = True
 
     def __init__(self, node: Vertex, neighbors: List[Vertex], root: Vertex, budget: int):
+        """Flood distances from ``root``; give up after ``budget`` rounds."""
         super().__init__(node, neighbors)
         self.distance: Optional[int] = 0 if node == root else None
         self.budget = budget
         self.announced = False
 
     def step(self, ctx: NodeContext) -> Mapping[Vertex, Any]:
+        """Adopt the smallest announced distance + 1; flood improvements."""
         for _, dist in ctx.inbox.items():
             candidate = dist + 1
             if self.distance is None or candidate < self.distance:
@@ -90,11 +92,13 @@ class LeaderElectionProgram(NodeProgram):
     always_active = True
 
     def __init__(self, node: Vertex, neighbors: List[Vertex], budget: int):
+        """Start with self as candidate; decide after ``budget`` rounds."""
         super().__init__(node, neighbors)
         self.best = node
         self.budget = budget
 
     def step(self, ctx: NodeContext) -> Mapping[Vertex, Any]:
+        """Adopt and re-flood any smaller candidate ID seen this round."""
         improved = False
         for candidate in ctx.inbox.values():
             if candidate < self.best:
@@ -142,12 +146,14 @@ class EchoCountProgram(NodeProgram):
     always_active = False
 
     def __init__(self, node: Vertex, neighbors: List[Vertex], root: Vertex):
+        """Convergecast subtree sizes toward ``root`` (graph must be a tree)."""
         super().__init__(node, neighbors)
         self.root = root
         self.reported: Dict[Vertex, int] = {}
         self.sent = False
 
     def step(self, ctx: NodeContext) -> Mapping[Vertex, Any]:
+        """Leaves report 1; internal nodes sum children, then report up."""
         self.reported.update(ctx.inbox)
         pending = [u for u in self.neighbors if u not in self.reported]
         subtree = 1 + sum(self.reported.values())

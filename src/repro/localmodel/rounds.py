@@ -34,20 +34,24 @@ class RoundLedger:
     charges: List[Tuple[str, int]] = field(default_factory=list)
 
     def charge(self, label: str, rounds: int) -> None:
+        """Append a labeled, non-negative round charge."""
         if rounds < 0:
             raise ValueError("cannot charge negative rounds")
         self.charges.append((label, rounds))
 
     def total(self) -> int:
+        """Sum of all charges."""
         return sum(r for _, r in self.charges)
 
     def by_label(self) -> Dict[str, int]:
+        """Charges aggregated per label, insertion-ordered."""
         out: Dict[str, int] = {}
         for label, rounds in self.charges:
             out[label] = out.get(label, 0) + rounds
         return out
 
     def merge(self, other: "RoundLedger", prefix: str = "") -> None:
+        """Append another ledger's charges, labels prefixed by ``prefix``."""
         for label, rounds in other.charges:
             self.charge(prefix + label, rounds)
 
@@ -61,9 +65,11 @@ class NodeClocks:
     """
 
     def __init__(self) -> None:
+        """Start with no recorded completion times."""
         self._time: Dict[Hashable, int] = {}
 
     def set_at(self, node: Hashable, time: int) -> None:
+        """Record that ``node`` completed at round ``time`` (monotone)."""
         if time < 0:
             raise ValueError("round clocks start at 0")
         current = self._time.get(node)
@@ -77,6 +83,7 @@ class NodeClocks:
         return node in self._time
 
     def at(self, node: Hashable) -> int:
+        """The recorded completion round of ``node`` (KeyError if unset)."""
         return self._time[node]
 
     def ready(self, nodes: Iterable[Hashable]) -> int:
@@ -89,4 +96,5 @@ class NodeClocks:
         return max(self._time.values(), default=0)
 
     def as_dict(self) -> Dict[Hashable, int]:
+        """A copy of the node -> completion-round mapping."""
         return dict(self._time)

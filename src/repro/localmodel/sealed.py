@@ -50,6 +50,7 @@ class FrozenMessageDict(Mapping):
     __slots__ = ("_data",)
 
     def __init__(self, data: Dict[Any, Any]):
+        """Wrap ``data``; the reference is kept, never copied or mutated."""
         self._data = data
 
     def __getitem__(self, key: Any) -> Any:
@@ -116,6 +117,7 @@ class SealedInbox(Mapping):
     __slots__ = ("_node", "_allowed", "_data")
 
     def __init__(self, node: Vertex, allowed: FrozenSet[Vertex], data: Dict[Vertex, Any]):
+        """Expose ``data`` to ``node``, restricted to the ``allowed`` senders."""
         self._node = node
         self._allowed = allowed
         self._data = data
@@ -132,6 +134,7 @@ class SealedInbox(Mapping):
         return self._data[key]
 
     def get(self, key: Any, default: Any = None) -> Any:
+        """Like ``dict.get``, after the declared-neighbor check."""
         self._check(key)
         return self._data.get(key, default)
 

@@ -29,11 +29,14 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..graphs.adjacency import Graph, Vertex
 from .network import NodeProgram, SyncNetwork
 from .trace import RecordingSink, jsonable_payload
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from .faults import FaultPlan
 
 __all__ = ["Divergence", "ShadowReport", "shadow_check", "canonical_transcript"]
 
@@ -63,17 +66,21 @@ class ShadowReport:
 
     @property
     def deterministic(self) -> bool:
+        """True iff no seed produced a divergence."""
         return not self.divergences
 
 
-def canonical_transcript(sink: RecordingSink) -> List[List[Tuple[str, str, str]]]:
+def canonical_transcript(sink: RecordingSink) -> List[List[Tuple[str, ...]]]:
     """Per-round message triples ``(sender, receiver, payload-json)``.
 
     Senders/receivers render through :func:`jsonable_payload`'s string
     fallback; payloads serialize with sorted keys so dict/set iteration
     order cannot leak into the comparison while list/tuple order does.
+    Under fault injection a record with a non-default ``status`` tag
+    carries it as a fourth element, so a run where a message was dropped
+    can never compare equal to one where it was delivered.
     """
-    transcript: List[List[Tuple[str, str, str]]] = []
+    transcript: List[List[Tuple[str, ...]]] = []
     for round_trace in sink.rounds:
         transcript.append(
             [
@@ -82,6 +89,7 @@ def canonical_transcript(sink: RecordingSink) -> List[List[Tuple[str, str, str]]
                     json.dumps(jsonable_payload(m.receiver)),
                     json.dumps(jsonable_payload(m.payload), sort_keys=True),
                 )
+                + (() if m.status == "delivered" else (m.status,))
                 for m in round_trace.messages
             ]
         )
@@ -104,6 +112,7 @@ def shadow_check(
     sealed: bool = False,
     scheduler: str = "active",
     max_rounds: int = 10_000,
+    faults: Optional["FaultPlan"] = None,
 ) -> ShadowReport:
     """Diff a baseline run against shadow runs with permuted inbox order.
 
@@ -112,10 +121,21 @@ def shadow_check(
     already imposes.  Raises whatever the program run raises (a shadow
     run that crashes is a determinism bug of a different color and
     should fail loudly).
+
+    ``faults`` attaches the same :class:`~repro.localmodel.faults
+    .FaultPlan` to the baseline and every shadow run.  Fault decisions
+    are functions of ``(seed, round, sender, receiver)`` only, never of
+    inbox order, so a conforming program must stay transcript-identical
+    under any plan -- in particular an empty plan changes nothing.
     """
     base_sink = RecordingSink()
     base_net = SyncNetwork(
-        graph, program_factory, sealed=sealed, scheduler=scheduler, sinks=[base_sink]
+        graph,
+        program_factory,
+        sealed=sealed,
+        scheduler=scheduler,
+        sinks=[base_sink],
+        faults=faults,
     )
     base_outputs = _canonical_outputs(base_net.run(max_rounds=max_rounds))
     base_transcript = canonical_transcript(base_sink)
@@ -130,6 +150,7 @@ def shadow_check(
             scheduler=scheduler,
             sinks=[shadow_sink],
             inbox_order=seed,
+            faults=faults,
         )
         shadow_outputs = _canonical_outputs(shadow_net.run(max_rounds=max_rounds))
         shadow_transcript = canonical_transcript(shadow_sink)
@@ -141,9 +162,9 @@ def shadow_check(
 
 def _diff(
     seed: int,
-    base_transcript: List[List[Tuple[str, str, str]]],
+    base_transcript: List[List[Tuple[str, ...]]],
     base_outputs: Dict[str, str],
-    shadow_transcript: List[List[Tuple[str, str, str]]],
+    shadow_transcript: List[List[Tuple[str, ...]]],
     shadow_outputs: Dict[str, str],
 ) -> List[Divergence]:
     """At most one transcript and one output divergence, first occurrence."""

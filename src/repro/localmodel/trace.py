@@ -39,11 +39,14 @@ import dataclasses
 import json
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, IO, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Any, Callable, Dict, IO, List, Optional, Tuple, Union
 
 from ..graphs.adjacency import Graph, Vertex
 from .network import MessageRecord, NodeProgram, SyncNetwork, TraceSink, vertex_key
 from .sealed import FrozenMessageDict
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from .faults import FaultPlan
 
 __all__ = [
     "MessageRecord",
@@ -58,6 +61,7 @@ __all__ = [
 
 @dataclass
 class RoundTrace:
+    """Everything one round did: messages, completions, active count."""
     round_number: int
     messages: List[MessageRecord] = field(default_factory=list)
     completed: List[Vertex] = field(default_factory=list)
@@ -65,6 +69,7 @@ class RoundTrace:
 
     @property
     def message_count(self) -> int:
+        """Number of message records this round."""
         return len(self.messages)
 
 
@@ -72,9 +77,11 @@ class RecordingSink(TraceSink):
     """Keeps every round as a :class:`RoundTrace` (what TracedNetwork uses)."""
 
     def __init__(self) -> None:
+        """Start with an empty round log."""
         self.rounds: List[RoundTrace] = []
 
     def on_round(self, round_no, messages, completed, active_count) -> None:
+        """Append the round, asserting the round numbers stay gap-free."""
         # round_no is the network's own counter; a fresh sink sees rounds
         # 0, 1, 2, ... with no gaps, so recording position and network
         # round number must agree -- drift here means the engine skipped
@@ -100,6 +107,7 @@ class MetricsSink(TraceSink):
     """
 
     def __init__(self) -> None:
+        """Start all per-round series empty; the wall clock starts now."""
         self.message_counts: List[int] = []
         self.active_counts: List[int] = []
         self.completed_counts: List[int] = []
@@ -107,6 +115,7 @@ class MetricsSink(TraceSink):
         self._last = time.perf_counter()
 
     def on_round(self, round_no, messages, completed, active_count) -> None:
+        """Append this round's counts and the wall time since the last."""
         now = time.perf_counter()
         self.wall_times.append(now - self._last)
         self._last = now
@@ -130,6 +139,7 @@ class MetricsSink(TraceSink):
         return self._histogram(self.active_counts)
 
     def summary(self) -> Dict[str, Any]:
+        """Aggregates: rounds, totals, maxima, quiet rounds, wall time."""
         rounds = len(self.message_counts)
         return {
             "rounds": rounds,
@@ -182,6 +192,7 @@ class JSONLTraceSink(TraceSink):
     """
 
     def __init__(self, target: Union[str, IO[str]], payloads: bool = True):
+        """Write to ``target`` (path or open stream); ``payloads=False`` slims records."""
         if hasattr(target, "write"):
             self._stream: IO[str] = target  # type: ignore[assignment]
             self._owns = False
@@ -192,6 +203,7 @@ class JSONLTraceSink(TraceSink):
         self.rounds_written = 0
 
     def on_round(self, round_no, messages, completed, active_count) -> None:
+        """Serialize the round as one JSON line (sorted keys, no gaps)."""
         record: Dict[str, Any] = {
             "round": round_no,
             "active": active_count,
@@ -199,6 +211,7 @@ class JSONLTraceSink(TraceSink):
             "messages": [
                 {"from": jsonable_payload(m.sender), "to": jsonable_payload(m.receiver)}
                 | ({"payload": jsonable_payload(m.payload)} if self.payloads else {})
+                | ({"status": m.status} if m.status != "delivered" else {})
                 for m in messages
             ],
             "completed": [jsonable_payload(v) for v in completed],
@@ -207,6 +220,7 @@ class JSONLTraceSink(TraceSink):
         self.rounds_written += 1
 
     def close(self) -> None:
+        """Flush, and close the stream iff this sink opened it."""
         self._stream.flush()
         if self._owns:
             self._stream.close()
@@ -228,7 +242,9 @@ class TracedNetwork:
         sealed: bool = False,
         scheduler: str = "active",
         sinks: Optional[List[TraceSink]] = None,
+        faults: Optional["FaultPlan"] = None,
     ):
+        """Build the network with a :class:`RecordingSink` ahead of ``sinks``."""
         self._sink = RecordingSink()
         self.network = SyncNetwork(
             graph,
@@ -236,22 +252,27 @@ class TracedNetwork:
             sealed=sealed,
             scheduler=scheduler,
             sinks=[self._sink, *(sinks or [])],
+            faults=faults,
         )
 
     @property
     def rounds(self) -> List[RoundTrace]:
+        """The recorded :class:`RoundTrace` log so far."""
         return self._sink.rounds
 
     def run(self, max_rounds: int = 10_000) -> Dict[Vertex, Any]:
+        """Run the wrapped network to completion."""
         return self.network.run(max_rounds=max_rounds)
 
     def step_round(self) -> None:
+        """Advance the wrapped network one round."""
         self.network.step_round()
 
     # ------------------------------------------------------------------
     # reporting
     # ------------------------------------------------------------------
     def total_messages(self) -> int:
+        """Messages sent across all recorded rounds."""
         return sum(r.message_count for r in self.rounds)
 
     def quiet_rounds(self) -> List[int]:
@@ -259,6 +280,7 @@ class TracedNetwork:
         return [r.round_number for r in self.rounds if r.message_count == 0]
 
     def timeline(self, max_messages_per_round: int = 8) -> str:
+        """Human-readable per-round log, payloads elided beyond the cap."""
         lines = []
         for r in self.rounds:
             parts = [f"round {r.round_number}: {r.message_count} msgs"]

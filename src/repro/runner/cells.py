@@ -60,6 +60,7 @@ __all__ = [
     "x1_cell",
     "k1_cell",
     "c1_cell",
+    "f7_cell",
 ]
 
 
@@ -472,4 +473,59 @@ def x1_cell(
         "cycle": longest_induced_cycle(g, cap=length + 6),
         "fill": outcome.fill_edges,
         "ratio": outcome.detour_ratio,
+    }
+
+
+def f7_cell(program: str, drop: float, retry: bool, n: int, seed: int) -> Dict[str, Any]:
+    """F7: resilience of one stock program at one Bernoulli drop rate.
+
+    Runs :func:`~repro.localmodel.resilience.resilience_check` on the
+    same program/graph pairing as C1 (``_c1_instance``) against three
+    seeded fault plans at ``drop``, optionally wrapping the program in
+    the :class:`~repro.localmodel.resilience.ReliableProgram` retry/ack
+    envelope.  Returns the classification plus the validity/recovery
+    accounting the F7 table pins.
+    """
+    from ..localmodel import (
+        fault_grid,
+        resilience_check,
+        stock_validator,
+        vertex_key,
+        with_retries,
+    )
+
+    _cls, g, factory = _c1_instance(program, n, seed)
+    kind = {
+        "bfs": "bfs", "leader": "leader", "echo": "echo", "gather": "gather",
+        "luby": "mis", "coloring": "coloring", "linial": "coloring",
+    }[program]
+    root = None
+    if kind == "bfs":
+        # must match the root _c1_instance wired into the program
+        root = min(
+            g.vertices(),
+            key=lambda v: (-len(list(g.neighbors_view(v))), vertex_key(v)),
+        )
+    validator = stock_validator(kind, g, root=root)
+    if retry:
+        factory = with_retries(factory)
+    report = resilience_check(
+        g,
+        factory,
+        validator,
+        grid=fault_grid(drop_rates=(drop,), seeds=(1, 2, 3), burst=None),
+        max_rounds=4_000,
+    )
+    recover = report.rounds_to_recover
+    return {
+        "program": program,
+        "n": len(g),
+        "drop": drop,
+        "retry": retry,
+        "classification": report.classification,
+        "baseline_rounds": report.baseline_rounds,
+        "recover": recover,
+        "runs": len(report.outcomes),
+        "completed": sum(1 for o in report.outcomes if o.complete),
+        "valid": sum(1 for o in report.outcomes if o.valid),
     }

@@ -193,6 +193,23 @@ def _plan_c1(programs=C1_PROGRAMS, ns=(16, 32, 64), seed=0):
     ]
 
 
+#: the F7 suite: the C1 programs measured for fault resilience
+F7_PROGRAMS = ("bfs", "leader", "echo", "gather", "luby", "coloring")
+
+
+def _plan_f7(programs=F7_PROGRAMS, drops=(0.1, 0.3), n=16, seed=0):
+    return [
+        CellSpec(
+            "F7",
+            "f7_cell",
+            {"program": p, "drop": d, "retry": retry, "n": n, "seed": seed},
+        )
+        for p in programs
+        for retry in (False, True)
+        for d in drops
+    ]
+
+
 def _plan_k1(
     families=("ktree3", "interval", "path"),
     ns=(10000, 30000, 100000),
@@ -458,6 +475,41 @@ def _render_c1(specs, values):
     )
 
 
+def _render_f7(specs, values):
+    rows = []
+    for (program, retry), cells in _groups(
+        specs, values, lambda s: (s.params["program"], s.params["retry"])
+    ):
+        if not cells:
+            continue
+        base = cells[0][1]["baseline_rounds"]
+        per_drop = []
+        worst_recover: Any = "-"
+        for _, val in cells:
+            per_drop.append(
+                f"{val['classification']} ({val['valid']}/{val['runs']} valid)"
+            )
+            if val["recover"] is not None and (
+                worst_recover == "-" or val["recover"] > worst_recover
+            ):
+                worst_recover = val["recover"]
+        rows.append(
+            (program, "yes" if retry else "no", base, *per_drop, worst_recover)
+        )
+    drops = sorted({s.params["drop"] for s in specs})
+    header = (
+        ["program", "retries", "base rounds"]
+        + [f"drop={d}" for d in drops]
+        + ["worst extra rounds"]
+    )
+    return (
+        "(classification per drop rate; `valid` counts fault seeds whose"
+        " outputs kept the safety invariant, `worst extra rounds` is the"
+        " recovery cost over completed runs)\n\n"
+        + format_table(header, rows)
+    )
+
+
 def _render_k1(specs, values):
     rows = [
         (
@@ -595,6 +647,18 @@ REGISTRY: Dict[str, Experiment] = {
             _plan_c1,
             _render_c1,
             {"programs": C1_PROGRAMS, "ns": (16, 32, 64)},
+        ),
+        Experiment(
+            "F7",
+            "Fault resilience: classification and recovery vs drop rate",
+            (
+                "repro.localmodel",
+                "repro.baselines",
+                "repro.graphs.generators",
+            ),
+            _plan_f7,
+            _render_f7,
+            {"programs": F7_PROGRAMS, "drops": (0.1, 0.3), "n": 16},
         ),
     ]
 }

@@ -1,0 +1,248 @@
+"""The resilience harness: validators, monitor, retries, classification."""
+
+import pytest
+
+from repro.graphs import cycle_graph, path_graph
+from repro.localmodel import (
+    CLASSIFICATIONS,
+    DEFAULT_FAULT_GRID,
+    FaultPlan,
+    ReliableProgram,
+    SyncNetwork,
+    ValidityMonitor,
+    fault_grid,
+    independent_set_validator,
+    proper_coloring_validator,
+    resilience_check,
+    stock_validator,
+    with_retries,
+)
+from repro.localmodel.programs import (
+    EchoCountProgram,
+    LeaderElectionProgram,
+)
+
+
+def echo_factory(root=0):
+    return lambda v, nbrs: EchoCountProgram(v, nbrs, root)
+
+
+def leader_factory(budget=12):
+    return lambda v, nbrs: LeaderElectionProgram(v, nbrs, budget)
+
+
+class TestValidators:
+    def test_proper_coloring_accepts_and_rejects(self):
+        g = path_graph(3)
+        assert proper_coloring_validator(g, {0: 1, 1: 2, 2: 1}) == []
+        problems = proper_coloring_validator(g, {0: 1, 1: 1, 2: 2})
+        assert problems and "0" in problems[0] and "1" in problems[0]
+
+    def test_proper_coloring_ignores_none(self):
+        # a node that never decided is incomplete, not improper
+        g = path_graph(3)
+        assert proper_coloring_validator(g, {0: 1, 1: None, 2: 1}) == []
+
+    def test_independent_set_flags_adjacent_members(self):
+        g = path_graph(3)
+        assert independent_set_validator(g, {0: True, 1: False, 2: True}) == []
+        assert independent_set_validator(g, {0: True, 1: True, 2: False})
+
+    def test_bfs_validator_rejects_underestimates(self):
+        g = path_graph(4)
+        validate = stock_validator("bfs", g, root=0)
+        assert validate(g, {0: 0, 1: 1, 2: 2, 3: 3}) == []
+        assert validate(g, {0: 0, 1: 1, 2: None, 3: None}) == []  # partial is fine
+        assert validate(g, {0: 0, 1: 1, 2: 1, 3: 3})  # claims a shortcut
+
+    def test_leader_validator_requires_existing_vertex(self):
+        g = path_graph(3)
+        validate = stock_validator("leader", g)
+        assert validate(g, {0: 0, 1: 0, 2: 0}) == []
+        assert validate(g, {0: 99, 1: 0, 2: 0})
+
+    def test_echo_validator_bounds_the_count(self):
+        g = path_graph(3)
+        validate = stock_validator("echo", g, root=0)
+        assert validate(g, {0: 3, 1: None, 2: None}) == []
+        assert validate(g, {0: 7, 1: None, 2: None})  # more nodes than exist
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            stock_validator("frobnicate", path_graph(2))
+
+
+class TestValidityMonitor:
+    def test_clean_run_records_no_violations(self):
+        g = path_graph(4)
+        net = SyncNetwork(g, echo_factory())
+        monitor = ValidityMonitor(net, stock_validator("echo", g, root=0))
+        net.add_sink(monitor)
+        net.run()
+        assert monitor.violations == []
+        assert monitor.first_violation_round is None
+
+    def test_monitor_pinpoints_first_bad_round(self):
+        # a validator that trips as soon as node 0 produces any output
+        g = path_graph(3)
+        net = SyncNetwork(g, echo_factory())
+
+        def nitpick(graph, outputs):
+            return ["nope"] if outputs.get(0) is not None else []
+
+        monitor = ValidityMonitor(net, nitpick)
+        net.add_sink(monitor)
+        net.run()
+        assert monitor.first_violation_round is not None
+        assert monitor.violations[0][1] == ["nope"]
+
+
+class TestReliableProgram:
+    def test_transparent_without_faults(self):
+        g = path_graph(5)
+        bare = SyncNetwork(g, echo_factory()).run()
+        wrapped = SyncNetwork(g, with_retries(echo_factory())).run()
+        assert wrapped == bare
+
+    def test_recovers_one_shot_protocol_from_heavy_loss(self):
+        # bare echo starves under a high drop rate; the retry envelope
+        # resends until every hop lands
+        g = path_graph(5)
+        plan = FaultPlan(seed=3, drop=0.5)
+        bare = SyncNetwork(g, echo_factory(), faults=plan)
+        with pytest.raises(RuntimeError, match="starved"):
+            bare.run(max_rounds=500)
+        net = SyncNetwork(g, with_retries(echo_factory()), faults=plan)
+        outputs = net.run(max_rounds=500)
+        assert outputs[0] == 5
+
+    def test_retries_cost_extra_rounds(self):
+        g = path_graph(5)
+        quiet = SyncNetwork(g, with_retries(echo_factory()))
+        quiet.run()
+        lossy = SyncNetwork(
+            g, with_retries(echo_factory()), faults=FaultPlan(seed=3, drop=0.5)
+        )
+        lossy.run(max_rounds=500)
+        assert lossy.stats.rounds > quiet.stats.rounds
+
+    def test_bounded_resends_give_up(self):
+        # drop everything forever: the envelope must stop resending and
+        # terminate (with gaps) rather than loop
+        g = path_graph(3)
+        net = SyncNetwork(
+            g,
+            with_retries(leader_factory(budget=6), timeout=1, max_resends=2),
+            faults=FaultPlan(bursts=((0, 9999),)),
+        )
+        outputs = net.run(max_rounds=300)
+        gave_up = sum(p.gave_up for p in net.programs.values())
+        assert gave_up > 0
+        # isolated minimum-ID election: everyone elects themselves
+        assert outputs == {0: 0, 1: 1, 2: 2}
+
+    def test_duplicate_envelopes_deduplicated(self):
+        g = path_graph(4)
+        plan = FaultPlan(seed=1, duplicate=1.0)
+        outputs = SyncNetwork(g, with_retries(echo_factory()), faults=plan).run(
+            max_rounds=200
+        )
+        assert outputs[0] == 4
+
+    def test_factory_produces_reliable_programs(self):
+        factory = with_retries(echo_factory(), timeout=4, max_resends=7)
+        program = factory(1, [0, 2])
+        assert isinstance(program, ReliableProgram)
+        assert program.always_active
+        assert program.timeout == 4 and program.max_resends == 7
+
+
+class TestFaultGrid:
+    def test_default_grid_shape(self):
+        # 3 drop rates x 2 seeds + 1 burst
+        assert len(DEFAULT_FAULT_GRID) == 7
+        assert sum(1 for p in DEFAULT_FAULT_GRID if p.bursts) == 1
+
+    def test_grid_is_parameterizable(self):
+        grid = fault_grid(drop_rates=(0.1,), seeds=(5,), burst=None)
+        assert len(grid) == 1
+        assert grid[0].drop == 0.1 and grid[0].seed == 5
+
+
+class TestResilienceCheck:
+    def test_classifications_vocabulary(self):
+        assert CLASSIFICATIONS == ("self-healing", "degraded-but-valid", "unsafe")
+
+    def test_leader_bare_is_degraded_retries_self_healing(self):
+        g = cycle_graph(6)
+        grid = fault_grid(drop_rates=(0.3,), seeds=(1, 2), burst=(1, 3))
+        bare = resilience_check(g, leader_factory(), stock_validator("leader", g), grid=grid)
+        assert bare.classification == "degraded-but-valid"
+        wrapped = resilience_check(
+            g, with_retries(leader_factory()), stock_validator("leader", g), grid=grid
+        )
+        assert wrapped.classification == "self-healing"
+        assert all(o.matches_baseline for o in wrapped.outcomes)
+
+    def test_self_healing_under_no_fault_grid(self):
+        g = path_graph(4)
+        report = resilience_check(
+            g,
+            echo_factory(),
+            stock_validator("echo", g, root=0),
+            grid=(FaultPlan(),),
+        )
+        assert report.classification == "self-healing"
+        assert report.rounds_to_recover == 0
+        assert report.outcomes[0].injected["dropped"] == 0
+
+    def test_unsafe_when_validator_trips(self):
+        # leader program judged by an impossible validator: any elected
+        # leader is declared wrong, so the program classifies unsafe
+        g = path_graph(3)
+
+        def always_wrong(graph, outputs):
+            return ["wrong"] if any(v is not None for v in outputs.values()) else []
+
+        report = resilience_check(
+            g, leader_factory(budget=5), always_wrong, grid=(FaultPlan(),)
+        )
+        assert report.classification == "unsafe"
+        assert report.outcomes[0].problems == ("wrong",)
+
+    def test_loud_failures_are_degraded_not_unsafe(self):
+        # echo starves under heavy loss: incomplete, error recorded, but
+        # the partial outputs are valid, so degraded-but-valid
+        g = path_graph(5)
+        report = resilience_check(
+            g,
+            echo_factory(),
+            stock_validator("echo", g, root=0),
+            grid=(FaultPlan(seed=3, drop=0.5),),
+            max_rounds=300,
+        )
+        assert report.classification == "degraded-but-valid"
+        outcome = report.outcomes[0]
+        assert not outcome.complete
+        assert outcome.error and "starved" in outcome.error
+
+    def test_baseline_failure_raises(self):
+        # echo on a cycle is ill-posed (not a tree): the fault-free run
+        # never finishes, which is a harness error, not a classification
+        g = cycle_graph(4)
+        with pytest.raises(RuntimeError, match="baseline"):
+            resilience_check(
+                g,
+                echo_factory(),
+                stock_validator("echo", g, root=0),
+                grid=(),
+                max_rounds=50,
+            )
+
+    def test_plan_specs_recorded(self):
+        g = path_graph(3)
+        grid = fault_grid(drop_rates=(0.05,), seeds=(9,), burst=None)
+        report = resilience_check(
+            g, leader_factory(budget=6), stock_validator("leader", g), grid=grid
+        )
+        assert [o.plan for o in report.outcomes] == ["drop=0.05,seed=9"]

@@ -44,8 +44,8 @@ class TestExtractors:
 
     def test_cli_subcommands_match_parser(self):
         assert check_docs.cli_subcommands() == [
-            "color", "generate", "info", "lint", "mis", "report", "run",
-            "trace",
+            "color", "faults", "generate", "info", "lint", "mis", "report",
+            "run", "trace",
         ]
 
     def test_package_inventory(self):
@@ -77,8 +77,40 @@ class TestCheck:
         assert "docs/architecture.md: file missing" in text
         assert "docs/runner.md: file missing" in text
         assert "docs/tracing.md: file missing" in text
+        assert "docs/faults.md: file missing" in text
+        assert "docs/index.md: file missing" in text
         # the one documented subcommand is not flagged
         assert "'info' is undocumented" not in text
+
+    def test_unlinked_docs_page_is_flagged(self, broken_root):
+        docs = broken_root / "docs"
+        docs.mkdir()
+        (docs / "orphan.md").write_text("# nobody links me\n")
+        problems = check_docs.check(broken_root)
+        text = "\n".join(problems)
+        assert "README.md: docs page 'docs/orphan.md' is never linked" in text
+
+    def test_index_must_map_every_page_and_subcommand(self, broken_root):
+        docs = broken_root / "docs"
+        docs.mkdir()
+        (docs / "index.md").write_text("# index with no entries\n")
+        (docs / "extra.md").write_text("# a page the index ignores\n")
+        problems = check_docs.check(broken_root)
+        text = "\n".join(problems)
+        assert (
+            "docs/index.md: docs page 'extra.md' is missing from the "
+            "subsystem map" in text
+        )
+        assert "docs/index.md: CLI subcommand 'faults' is never mentioned" in text
+
+    def test_faults_doc_terms_enforced(self, broken_root):
+        docs = broken_root / "docs"
+        docs.mkdir()
+        (docs / "faults.md").write_text("# faults, vaguely\n")
+        problems = check_docs.check(broken_root)
+        text = "\n".join(problems)
+        assert "docs/faults.md: 'FaultPlan' is never mentioned" in text
+        assert "docs/faults.md: 'self-healing' is never mentioned" in text
 
     def test_empty_extraction_is_itself_a_problem(self, tmp_path):
         (tmp_path / "src" / "repro").mkdir(parents=True)

@@ -1,0 +1,84 @@
+"""The public-API docstring checker (the stdlib D1 equivalent)."""
+
+import importlib.util
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+_spec = importlib.util.spec_from_file_location(
+    "check_docstrings", REPO_ROOT / "tools" / "check_docstrings.py"
+)
+check_docstrings = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_docstrings)
+
+
+def _problems_for(tmp_path, source):
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "mod.py").write_text(source)
+    return check_docstrings.check(tmp_path, ["pkg"])
+
+
+class TestMissingDocstrings:
+    def test_flags_module_class_function_and_init(self, tmp_path):
+        problems = _problems_for(
+            tmp_path,
+            "class Widget:\n"
+            "    def __init__(self):\n"
+            "        pass\n"
+            "    def spin(self):\n"
+            "        pass\n"
+            "def helper():\n"
+            "    pass\n",
+        )
+        text = "\n".join(problems)
+        assert "missing docstring on (module)" in text
+        assert "missing docstring on Widget" in text
+        assert "missing docstring on Widget.__init__" in text
+        assert "missing docstring on Widget.spin" in text
+        assert "missing docstring on helper" in text
+
+    def test_private_names_and_nested_defs_exempt(self, tmp_path):
+        problems = _problems_for(
+            tmp_path,
+            '"""Module doc."""\n'
+            "def _internal():\n"
+            "    pass\n"
+            "class _Hidden:\n"
+            "    def visible_in_private_scope(self):\n"
+            "        pass\n"
+            "def documented():\n"
+            '    """Doc."""\n'
+            "    def nested():\n"
+            "        pass\n",
+        )
+        assert problems == []
+
+    def test_overload_stubs_exempt(self, tmp_path):
+        problems = _problems_for(
+            tmp_path,
+            '"""Module doc."""\n'
+            "from typing import overload\n"
+            "@overload\n"
+            "def f(x: int) -> int: ...\n"
+            "@overload\n"
+            "def f(x: str) -> str: ...\n"
+            "def f(x):\n"
+            '    """Doc."""\n'
+            "    return x\n",
+        )
+        assert problems == []
+
+    def test_missing_package_is_a_problem(self, tmp_path):
+        problems = check_docstrings.check(tmp_path, ["nope"])
+        assert problems == ["nope: not a directory"]
+
+
+class TestRepository:
+    def test_default_scope_is_fully_documented(self):
+        assert check_docstrings.check(
+            REPO_ROOT, list(check_docstrings.DEFAULT_SCOPE)
+        ) == []
+
+    def test_main_exit_status(self, capsys):
+        assert check_docstrings.main(["--root", str(REPO_ROOT)]) == 0
+        assert "fully documented" in capsys.readouterr().out

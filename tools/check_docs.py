@@ -9,7 +9,10 @@ instructions can never silently rot:
   resolve in the ``repro.runner`` registry;
 * every CLI subcommand exposed by ``repro.cli.build_parser()`` must be
   documented in ``README.md`` (as ``repro <cmd>`` or
-  ``python -m repro <cmd>``);
+  ``python -m repro <cmd>``) and at least named in ``docs/index.md``;
+* every ``docs/*.md`` page must be linked from both ``README.md`` and
+  the ``docs/index.md`` subsystem map (the index itself only needs the
+  README link), so no page can exist unreachable from the front door;
 * ``docs/architecture.md`` must inventory every top-level ``repro``
   subpackage, and ``docs/runner.md`` must exist and name every
   registered experiment id;
@@ -21,7 +24,11 @@ instructions can never silently rot:
   baseline file, ``MessageMeter``, ``shadow_check``);
 * ``docs/kernels.md`` must exist and document the kernel substrate
   (``GraphIndex``, the ``graph_index`` version-keyed cache, the bitset
-  cutoff, ``bench_kernels`` / ``BENCH_kernels.json``).
+  cutoff, ``bench_kernels`` / ``BENCH_kernels.json``);
+* ``docs/faults.md`` must exist and document the fault-injection and
+  resilience surface (``FaultPlan``, the plan grammar, the three
+  classifications, ``ReliableProgram``, ``resilience_check``,
+  ``repro faults``, ``BENCH_faults.json``).
 
 Usage::
 
@@ -213,6 +220,57 @@ def check(root: Path) -> List[str]:
                 problems.append(
                     f"docs/lint.md: {term!r} is never mentioned (the "
                     "conformance surface must stay documented)"
+                )
+
+    faults_doc = root / "docs" / "faults.md"
+    if not faults_doc.is_file():
+        problems.append("docs/faults.md: file missing")
+    else:
+        text = faults_doc.read_text()
+        for term in (
+            "FaultPlan",
+            "drop=",
+            "crash=",
+            "self-healing",
+            "degraded-but-valid",
+            "unsafe",
+            "ReliableProgram",
+            "resilience_check",
+            "ValidityMonitor",
+            "repro faults",
+            "--faults",
+            "BENCH_faults.json",
+        ):
+            if term not in text:
+                problems.append(
+                    f"docs/faults.md: {term!r} is never mentioned (the "
+                    "fault/resilience surface must stay documented)"
+                )
+
+    # 4. every docs page is reachable: linked from the README and from
+    # the docs/index.md subsystem map (the index needs only the README)
+    index_doc = root / "docs" / "index.md"
+    index_text = index_doc.read_text() if index_doc.is_file() else ""
+    if not index_doc.is_file():
+        problems.append("docs/index.md: file missing")
+    readme_text = readme_path.read_text() if readme_path.is_file() else ""
+    for page in sorted((root / "docs").glob("*.md")):
+        name = page.name
+        if f"docs/{name}" not in readme_text:
+            problems.append(
+                f"README.md: docs page 'docs/{name}' is never linked"
+            )
+        if name != "index.md" and index_text and f"({name})" not in index_text:
+            problems.append(
+                f"docs/index.md: docs page {name!r} is missing from the "
+                "subsystem map"
+            )
+    if index_text:
+        for command in cli_subcommands():
+            if not re.search(rf"\b{re.escape(command)}\b", index_text):
+                problems.append(
+                    f"docs/index.md: CLI subcommand {command!r} is never "
+                    "mentioned"
                 )
 
     kernels_doc = root / "docs" / "kernels.md"

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Public-API docstring checker (stdlib only; runs in CI).
+
+The equivalent of ``pydocstyle --select=D1`` (missing docstrings),
+without the dependency: walks the given packages with :mod:`ast` and
+reports every *public* module, class, function, and method that has no
+docstring.  Public means the name (and every enclosing scope) does not
+start with ``_``; ``__init__`` counts as public when its class is.
+
+Deliberate exemptions, so the check enforces documentation and not
+boilerplate:
+
+* nested functions and lambdas (implementation detail of their parent);
+* ``@overload`` / ``@typing.overload`` stubs;
+* trivial delegating ``__init__`` bodies are *not* exempt -- a class's
+  constructor arguments are exactly what a reader needs documented;
+* test files are out of scope (the checker targets ``src/``).
+
+Usage::
+
+    python tools/check_docstrings.py [--root PATH] [PACKAGE_DIR ...]
+
+With no package dirs, checks the packages listed in ``DEFAULT_SCOPE``
+(currently ``src/repro/localmodel`` -- the surface grown by the fault
+injection work; widen the scope as other packages are brought up to
+standard).  Exit status 0 when fully documented, 1 with one
+``file:line: name`` line per missing docstring otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: package directories (relative to the repo root) checked by default
+DEFAULT_SCOPE = ("src/repro/localmodel",)
+
+
+def _is_overload(node: ast.AST) -> bool:
+    for decorator in getattr(node, "decorator_list", []):
+        name = None
+        if isinstance(decorator, ast.Name):
+            name = decorator.id
+        elif isinstance(decorator, ast.Attribute):
+            name = decorator.attr
+        if name == "overload":
+            return True
+    return False
+
+
+def missing_docstrings(path: Path) -> Iterator[Tuple[int, str]]:
+    """Yield ``(lineno, dotted name)`` for each undocumented public def."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    if ast.get_docstring(tree) is None:
+        yield 1, "(module)"
+
+    def walk(node: ast.AST, prefix: str, top_level: bool) -> Iterator[Tuple[int, str]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                if child.name.startswith("_"):
+                    continue
+                qualified = f"{prefix}{child.name}"
+                if ast.get_docstring(child) is None:
+                    yield child.lineno, qualified
+                yield from walk(child, f"{qualified}.", top_level=False)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                public = not child.name.startswith("_") or child.name == "__init__"
+                if not public or _is_overload(child):
+                    continue
+                if ast.get_docstring(child) is None:
+                    yield child.lineno, f"{prefix}{child.name}"
+                # nested defs are implementation detail: do not recurse
+
+    yield from walk(tree, "", top_level=True)
+
+
+def check(root: Path, scope: List[str]) -> List[str]:
+    """One problem line per undocumented public definition under ``scope``."""
+    problems = []
+    for package in scope:
+        base = root / package
+        if not base.is_dir():
+            problems.append(f"{package}: not a directory")
+            continue
+        for path in sorted(base.rglob("*.py")):
+            rel = path.relative_to(root)
+            for lineno, name in missing_docstrings(path):
+                problems.append(f"{rel}:{lineno}: missing docstring on {name}")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("packages", nargs="*", default=None,
+                        help=f"package dirs to check (default: {DEFAULT_SCOPE})")
+    parser.add_argument("--root", default=str(REPO_ROOT),
+                        help="repository root (default: the checkout)")
+    args = parser.parse_args(argv)
+
+    scope = args.packages or list(DEFAULT_SCOPE)
+    problems = check(Path(args.root), scope)
+    if problems:
+        for problem in problems:
+            print(f"docstring-check: {problem}", file=sys.stderr)
+        print(f"docstring-check: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    print(f"docstring-check: {', '.join(scope)} fully documented")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
