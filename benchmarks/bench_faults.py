@@ -50,6 +50,7 @@ EXPECTED_CLASSES = {
         "leader": "degraded-but-valid",
         "echo": "degraded-but-valid",
         "gather": "degraded-but-valid",
+        "gather-delta": "degraded-but-valid",
         "luby": "unsafe",
         "coloring": "unsafe",
         "linial": "unsafe",
@@ -59,6 +60,7 @@ EXPECTED_CLASSES = {
         "leader": "self-healing",
         "echo": "self-healing",
         "gather": "degraded-but-valid",
+        "gather-delta": "degraded-but-valid",
         "luby": "unsafe",
         "coloring": "unsafe",
         "linial": "unsafe",

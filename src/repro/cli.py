@@ -378,6 +378,7 @@ FAULT_VALIDATORS = {
     "leader": "leader",
     "echo": "echo",
     "gather": "gather",
+    "gather-delta": "gather",
     "luby": "mis",
     "coloring": "coloring",
     "linial": "coloring",

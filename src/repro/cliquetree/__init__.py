@@ -16,7 +16,12 @@ from .cliquepath import (
     is_interval_graph,
 )
 from .forest import CliqueForest, build_clique_forest
-from .local_view import LocalView, compute_local_view, local_cliques_of
+from .local_view import (
+    LocalView,
+    compute_local_view,
+    local_cliques_of,
+    local_view_from_ball,
+)
 from .paths import (
     ForestPath,
     greedy_path_mis,
@@ -46,6 +51,7 @@ __all__ = [
     "LocalView",
     "compute_local_view",
     "local_cliques_of",
+    "local_view_from_ball",
     "ForestPath",
     "greedy_path_mis",
     "maximal_binary_paths",

@@ -22,7 +22,7 @@ node, which then computes it in step 2).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..graphs.adjacency import Graph, Vertex
 from ..graphs.chordal import maximal_cliques
@@ -30,7 +30,15 @@ from .forest import CliqueForest
 from .spanning import maximum_weight_spanning_forest
 from .wcig import Clique, wcig_edges_among
 
-__all__ = ["LocalView", "local_cliques_of", "compute_local_view"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..localmodel.gather import KnownBall
+
+__all__ = [
+    "LocalView",
+    "local_cliques_of",
+    "compute_local_view",
+    "local_view_from_ball",
+]
 
 
 def local_cliques_of(ball: Graph, u: Vertex) -> List[Clique]:
@@ -78,7 +86,33 @@ def compute_local_view(graph: Graph, center: Vertex, radius: int) -> LocalView:
     dist = graph.bfs_distances(center, cutoff=radius)
     ball = graph.induced_subgraph(set(dist))
     interior = {u for u, d in dist.items() if d <= radius - 1}
+    return _view_from_ball_graph(center, radius, ball, interior)
 
+
+def local_view_from_ball(ball: "KnownBall") -> LocalView:
+    """Build the local view from a gathered :class:`KnownBall`.
+
+    ``ball.as_graph()`` is exactly ``G[Gamma^radius[center]]`` (the
+    gather contract), and a shortest path of length ``<= radius`` from
+    the center stays inside that ball, so BFS distances computed inside
+    the ball agree with distances in G up to the radius.  The result is
+    therefore identical to ``compute_local_view(G, center, radius)`` --
+    this is the message-level entry point used after a real
+    :func:`~repro.localmodel.gather.gather_balls` run, where the global
+    graph is no longer available.
+    """
+    if ball.radius < 1:
+        raise ValueError("a local view needs radius >= 1")
+    ball_graph = ball.as_graph()
+    dist = ball_graph.bfs_distances(ball.center, cutoff=ball.radius)
+    interior = {u for u, d in dist.items() if d <= ball.radius - 1}
+    return _view_from_ball_graph(ball.center, ball.radius, ball_graph, interior)
+
+
+def _view_from_ball_graph(
+    center: Vertex, radius: int, ball: Graph, interior: Set[Vertex]
+) -> LocalView:
+    """Shared reconstruction: phi(u) subtrees over the interior, merged."""
     cliques: Set[Clique] = set()
     edges: Set[Tuple[Clique, Clique]] = set()
     for u in sorted(interior):

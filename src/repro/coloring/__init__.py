@@ -22,6 +22,8 @@ from .distributed_mvc import (
     compute_parent,
     distributed_color_chordal,
     local_layer_decision,
+    local_layer_decision_from_ball,
+    message_level_layer_decisions,
 )
 from .extension import MorphError, extend_path_coloring
 from .greedy import PaletteExhaustedError, peo_greedy_coloring, preference_greedy
@@ -55,6 +57,8 @@ __all__ = [
     "compute_parent",
     "distributed_color_chordal",
     "local_layer_decision",
+    "local_layer_decision_from_ball",
+    "message_level_layer_decisions",
     "MorphError",
     "extend_path_coloring",
     "PaletteExhaustedError",

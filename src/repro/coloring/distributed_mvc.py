@@ -36,9 +36,14 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..cliquetree.forest import CliqueForest
-from ..cliquetree.local_view import LocalView, compute_local_view
+from ..cliquetree.local_view import (
+    LocalView,
+    compute_local_view,
+    local_view_from_ball,
+)
 from ..cliquetree.paths import path_diameter
 from ..graphs.adjacency import Graph, Vertex
+from ..localmodel.gather import KnownBall, gather_balls
 from ..localmodel.rounds import NodeClocks, RoundLedger
 from .chordal_mvc import ChordalColoringResult, color_chordal_graph, conflict_boundary
 from .parameters import ColoringParameters
@@ -48,6 +53,8 @@ __all__ = [
     "DistributedColoringReport",
     "distributed_color_chordal",
     "local_layer_decision",
+    "local_layer_decision_from_ball",
+    "message_level_layer_decisions",
     "compute_parent",
 ]
 
@@ -161,8 +168,66 @@ def local_layer_decision(
     is pendant, long enough, or provably extends beyond the horizon.
     """
     view = compute_local_view(current_graph, v, params.collect_radius)
+    ball_graph = current_graph.induced_subgraph(set(view.interior))
+    return _decide_from_view(view, ball_graph, params)
+
+
+def local_layer_decision_from_ball(
+    ball: KnownBall, params: ColoringParameters
+) -> bool:
+    """Algorithm 3's layer decision, consuming only a gathered ball.
+
+    Message-level twin of :func:`local_layer_decision`: the node's
+    knowledge is a :class:`~repro.localmodel.gather.KnownBall` obtained
+    by actually running the gather program, not a slice of the global
+    graph.  Identical decisions by the gather contract
+    (``ball.as_graph()`` equals the induced radius ball).
+    """
+    if ball.radius != params.collect_radius:
+        raise ValueError(
+            f"ball radius {ball.radius} != collect_radius "
+            f"{params.collect_radius}"
+        )
+    view = local_view_from_ball(ball)
+    ball_graph = ball.as_graph().induced_subgraph(set(view.interior))
+    return _decide_from_view(view, ball_graph, params)
+
+
+def message_level_layer_decisions(
+    current_graph: Graph,
+    params: ColoringParameters,
+    sealed: bool = False,
+    scheduler: str = "active",
+    program: str = "delta",
+) -> Tuple[Dict[Vertex, bool], int]:
+    """Per-node layer decisions via real message-passing ball gathering.
+
+    Floods for ``params.collect_radius`` rounds on the synchronous
+    simulator (delta gathering by default), then each node decides from
+    its own ball alone.  Returns ``(decisions, rounds)`` where
+    ``rounds`` is the simulator's round count
+    (``collect_radius + 1``, one final round to detect quiescence).
+    """
+    balls, rounds = gather_balls(
+        current_graph,
+        params.collect_radius,
+        sealed=sealed,
+        scheduler=scheduler,
+        program=program,
+    )
+    decisions = {
+        v: local_layer_decision_from_ball(ball, params)
+        for v, ball in balls.items()
+    }
+    return decisions, rounds
+
+
+def _decide_from_view(
+    view: LocalView, ball_graph: Graph, params: ColoringParameters
+) -> bool:
+    """The decision rule, given the reconstructed view and interior graph."""
     frag = view.forest
-    phi_v = frag.phi(v)
+    phi_v = frag.phi(view.center)
 
     # T(v) must lie on a binary path: every clique containing v needs
     # (certified) degree <= 2.  Cliques containing v sit inside Gamma[v],
@@ -202,7 +267,6 @@ def local_layer_decision(
     # Internal (or horizon-truncated, in which case the true path is at
     # least as long as what we see): join iff the visible diameter clears
     # the threshold.
-    ball_graph = current_graph.induced_subgraph(set(view.interior))
     visible_diameter = _path_diameter_within(ball_graph, full_path)
     return visible_diameter >= params.internal_threshold
 

@@ -44,7 +44,9 @@ __all__ = ["GraphIndex", "graph_index"]
 class GraphIndex:
     """An immutable CSR + bitset snapshot of a graph (see module docstring)."""
 
-    __slots__ = ("verts", "vid", "indptr", "indices", "n", "m", "_nbr_bits")
+    __slots__ = (
+        "verts", "vid", "indptr", "indices", "n", "m", "_nbr_bits", "_edge_labels",
+    )
 
     def __init__(self, graph: Graph):
         verts: List[Vertex] = graph.vertices()
@@ -63,6 +65,31 @@ class GraphIndex:
         self.n = n
         self.m = len(indices) // 2
         self._nbr_bits: Optional[List[int]] = None
+        self._edge_labels: Optional[Dict[Tuple[int, int], Tuple[Vertex, Vertex]]] = None
+
+    @property
+    def edge_labels(self) -> Dict[Tuple[int, int], Tuple[Vertex, Vertex]]:
+        """Sorted id-pair -> sorted label-pair, one entry per edge.
+
+        Built lazily (O(m)) and cached; consumers translating many
+        overlapping edge sets back to labels (e.g. per-node gathered
+        balls, where each graph edge reappears in many balls) get a dict
+        lookup per edge instead of two list indexings and a fresh tuple.
+        Ids are order-isomorphic to labels, so the id-sorted pair maps to
+        the label-sorted pair.
+        """
+        cached = self._edge_labels
+        if cached is None:
+            verts, indptr, indices = self.verts, self.indptr, self.indices
+            cached = {}
+            for i in range(self.n):
+                li = verts[i]
+                for k in range(indptr[i], indptr[i + 1]):
+                    j = indices[k]
+                    if j > i:
+                        cached[(i, j)] = (li, verts[j])
+            self._edge_labels = cached
+        return cached
 
     @property
     def nbr_bits(self) -> List[int]:

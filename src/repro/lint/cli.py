@@ -139,9 +139,11 @@ def _sanitize_suite():
     from ..baselines.coloring_baselines import RandomizedColoringProgram
     from ..baselines.luby import LubyMISProgram
     from ..graphs import cycle_graph, path_graph, random_chordal_graph
+    from ..graphs.index import graph_index
     from ..localmodel import (
         BallGatherProgram,
         BFSLayerProgram,
+        DeltaGatherProgram,
         EchoCountProgram,
         LeaderElectionProgram,
         LinialPathProgram,
@@ -164,6 +166,13 @@ def _sanitize_suite():
         ("leader", chordal, lambda v, nbrs: LeaderElectionProgram(v, nbrs, tree_n + 1)),
         ("echo", path, lambda v, nbrs: EchoCountProgram(v, nbrs, 0)),
         ("gather", cycle, lambda v, nbrs: BallGatherProgram(v, nbrs, 2, ("s", v))),
+        (
+            "gather-delta",
+            cycle,
+            lambda v, nbrs: DeltaGatherProgram(
+                v, nbrs, 2, ("s", v), graph_index(cycle)
+            ),
+        ),
         ("luby", chordal, seeded(LubyMISProgram)),
         (
             "coloring",

@@ -404,6 +404,9 @@ class _MethodFlow(ast.NodeVisitor):
         #: names bound to dict literals inside this method -- candidate
         #: outboxes whose item-assignments carry payloads
         self.outbox_names: Dict[str, List[ast.expr]] = {}
+        #: local name -> instance attribute it aliases (``states =
+        #: self._states``); growth through the alias must charge the attr
+        self.attr_aliases: Dict[str, str] = {}
         self.ctx_names: Set[str] = set()
         self._returns: List[int] = []
         #: the horizon attribute in force for statements after a top-level
@@ -530,9 +533,15 @@ class _MethodFlow(ast.NodeVisitor):
             )
         if isinstance(node, ast.Call):
             return self._call_size(node)
-        if isinstance(node, (ast.BinOp, ast.UnaryOp, ast.Compare, ast.BoolOp)):
-            # arithmetic/logic yields scalars; container concatenation that
-            # grows state is caught by the self-referential-assign rule
+        if isinstance(node, ast.BinOp):
+            if isinstance(node.op, (ast.Add, ast.Sub, ast.BitOr, ast.BitAnd, ast.BitXor)):
+                # set algebra and concatenation are size-preserving in
+                # their operands: a union/difference of message containers
+                # is still message-container-sized
+                return max(self.size_of(node.left), self.size_of(node.right))
+            return WORD
+        if isinstance(node, (ast.UnaryOp, ast.Compare, ast.BoolOp)):
+            # arithmetic/logic yields scalars
             return WORD
         if isinstance(node, ast.IfExp):
             return max(self.size_of(node.body), self.size_of(node.orelse))
@@ -556,10 +565,18 @@ class _MethodFlow(ast.NodeVisitor):
 
     def _comprehension_size(self, elt: ast.expr, generators) -> int:
         saved = dict(self.names)
+        capture = False
         for gen in generators:
+            if self._is_inbox_view(gen.iter) or self.size_of(gen.iter) >= ACC:
+                capture = True
             self._bind_target(gen.target, self._elem_size(gen.iter))
         size = self.size_of(elt)
         self.names = saved
+        if capture and size >= MSG:
+            # a (filtered) copy of accumulated state -- or of the whole
+            # inbox -- is still accumulated state, matching the
+            # ``list(ctx.inbox.values())`` capture rule
+            return ACC
         return size
 
     def _call_size(self, node: ast.Call) -> int:
@@ -586,6 +603,11 @@ class _MethodFlow(ast.NodeVisitor):
                 if self._is_inbox(node.func.value):
                     return MSG
                 return MSG if base >= MSG else WORD
+            if node.func.attr in ("items", "values", "keys"):
+                # dict views are size-preserving windows onto the dict
+                base = self.size_of(node.func.value)
+                if base >= MSG:
+                    return base
             # unknown method on some object (rng.choice, str.join, ...):
             # assume scalar unless an argument is a message container
             return WORD
@@ -601,6 +623,7 @@ class _MethodFlow(ast.NodeVisitor):
     def _bind_target(self, target: ast.AST, size: int, is_set: bool = False) -> None:
         if isinstance(target, ast.Name):
             self.names[target.id] = size
+            self.attr_aliases.pop(target.id, None)
             if is_set:
                 self.set_names.add(target.id)
             else:
@@ -677,13 +700,29 @@ class _MethodFlow(ast.NodeVisitor):
                         or self.size_of(target.slice) >= MSG,
                     )
                     grew = True
-                elif (
-                    isinstance(target.value, ast.Name)
-                    and target.value.id in self.outbox_names
-                ):
-                    self.outbox_names[target.value.id].append(node.value)
+                elif isinstance(target.value, ast.Name):
+                    base_name = target.value.id
+                    if base_name in self.outbox_names:
+                        self.outbox_names[base_name].append(node.value)
+                    # filling a local container: a dict/set holding
+                    # message-derived entries is accumulated state
+                    self._join_local_container(base_name, size)
+                    alias = self.attr_aliases.get(base_name)
+                    if alias is not None and not self.is_init:
+                        # growth through a local alias (states[k] = v
+                        # after states = self._states) charges the attr
+                        self.analysis.mark_accumulator(
+                            alias,
+                            node.lineno,
+                            inbox_fed=size >= MSG
+                            or self.size_of(target.slice) >= MSG,
+                        )
             else:
                 self._bind_target(target, size, is_set)
+                if isinstance(target, ast.Name):
+                    value_attr = _is_self_attr(node.value)
+                    if value_attr is not None:
+                        self.attr_aliases[target.id] = value_attr
         if (
             not grew
             and len(node.targets) == 1
@@ -705,7 +744,26 @@ class _MethodFlow(ast.NodeVisitor):
                 self.analysis.set_attrs.add(attr)
         elif isinstance(node.target, ast.Name):
             self._bind_target(node.target, size, self._is_set_valued(node.value))
+            value_attr = _is_self_attr(node.value)
+            if value_attr is not None:
+                self.attr_aliases[node.target.id] = value_attr
+            # an annotated ``outbox: Dict[...] = {}`` is an outbox
+            # candidate exactly like its unannotated twin
+            if isinstance(node.value, ast.Dict) and not node.value.keys:
+                self.outbox_names[node.target.id] = []
         self.visit(node.value)
+
+    def _join_local_container(self, name: str, element_size: int) -> None:
+        """A local container absorbing an element of ``element_size``.
+
+        Collecting message-derived elements turns the container into
+        accumulated state (the WORD/MSG/ACC domain has no "bounded
+        collection of messages" point, and the certificate must only
+        over-approximate); collecting words leaves the size unchanged.
+        """
+        if element_size >= MSG:
+            self.names[name] = ACC
+
 
     def visit_AugAssign(self, node: ast.AugAssign) -> None:
         attr = _is_self_attr(node.target)
@@ -767,6 +825,24 @@ class _MethodFlow(ast.NodeVisitor):
                     self._is_inbox_view(a) for a in node.args
                 )
                 self.analysis.mark_accumulator(attr, node.lineno, inbox_fed)
+            elif (
+                isinstance(node.func.value, ast.Name)
+                and node.func.attr in _GROW_METHODS
+                and not self.is_init
+            ):
+                # growing a local container with message-derived data
+                arg_size = max((self.size_of(a) for a in node.args), default=WORD)
+                if any(self._is_inbox_view(a) for a in node.args):
+                    arg_size = ACC
+                base_name = node.func.value.id
+                self._join_local_container(base_name, arg_size)
+                alias = self.attr_aliases.get(base_name)
+                if alias is not None:
+                    # edges.update(...) after edges = self._edges grows
+                    # the aliased attribute across rounds
+                    self.analysis.mark_accumulator(
+                        alias, node.lineno, inbox_fed=arg_size >= MSG
+                    )
         if self.report_hazards:
             self._check_order_hazards(node)
         self.generic_visit(node)

@@ -5,8 +5,10 @@
   with active-set scheduling and pluggable :class:`TraceSink` observers.
 * :mod:`repro.localmodel.trace` -- the stock sinks (recording, metrics,
   JSONL export) and the :class:`TracedNetwork` convenience wrapper.
-* :mod:`repro.localmodel.gather` -- flooding-based ball gathering, the
-  executable witness of the "r rounds = radius-r knowledge" equivalence.
+* :mod:`repro.localmodel.gather` -- ball gathering, the executable
+  witness of the "r rounds = radius-r knowledge" equivalence: an
+  output-sensitive delta-flooding program (the default) plus the
+  full-flood reference it is equivalence-tested against.
 * :mod:`repro.localmodel.rounds` -- ledgers and per-node clocks used by the
   layered algorithms to account rounds under that equivalence.
 * :mod:`repro.localmodel.colorreduction` -- Linial/Cole-Vishkin O(log* n)
@@ -47,9 +49,16 @@ from .faults import (
     FaultPlanError,
     FaultRuntime,
 )
-from .gather import BallGatherProgram, KnownBall, gather_balls
+from .gather import (
+    BallGatherProgram,
+    DeltaGatherProgram,
+    KnownBall,
+    gather_balls,
+)
 from .network import (
+    DELIVERY_STATUSES,
     SCHEDULERS,
+    WIRE_STATUSES,
     MessageRecord,
     NodeContext,
     NodeProgram,
@@ -111,9 +120,12 @@ __all__ = [
     "FaultPlanError",
     "FaultRuntime",
     "BallGatherProgram",
+    "DeltaGatherProgram",
     "KnownBall",
     "gather_balls",
+    "DELIVERY_STATUSES",
     "SCHEDULERS",
+    "WIRE_STATUSES",
     "MessageRecord",
     "NodeContext",
     "NodeProgram",

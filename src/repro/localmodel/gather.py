@@ -6,43 +6,98 @@ induced topology plus all initial states within distance ``r``.  The paper
 leans on this equivalence everywhere ("collect Gamma^{10k}(v)" in
 Algorithm 3, "nodes can check locally whether ..." in Section 6.2).
 
-:class:`BallGatherProgram` realizes the primitive with genuine flooding on
-:class:`~repro.localmodel.network.SyncNetwork`: in every round each node
-forwards everything it has learned so far; after r rounds it knows each
-vertex at distance <= r together with that vertex's edges to other known
-vertices.  :func:`gather_balls` packages a full run; the equivalence tests
-check its output against direct BFS, which is what entitles the layered
-algorithms to use the cheaper accounting of :mod:`repro.localmodel.rounds`.
+Two node programs realize the primitive on
+:class:`~repro.localmodel.network.SyncNetwork`:
+
+* :class:`BallGatherProgram` is the faithful *full flood*: every round
+  each node re-broadcasts everything it has learned so far.  Simple, but
+  the volume is Theta(r * sum-of-ball-sizes-squared) facts -- the reason
+  the message-level experiments were historically pinned at small n.
+* :class:`DeltaGatherProgram` is the *output-sensitive* rewrite and the
+  default of :func:`gather_balls`: each node forwards only facts (states,
+  edges) first learned in the previous round, excluding per neighbor
+  whatever that neighbor itself delivered, so no fact ever crosses the
+  same edge twice in the same direction.  Total volume is O(sum over
+  edges of the facts that actually cross them), and payloads intern
+  vertex labels to the dense integer ids of
+  :class:`~repro.graphs.index.GraphIndex` so the hot path hashes ints,
+  not arbitrary labels.
+
+Equivalence argument (tested exhaustively in
+``tests/localmodel/test_gather_delta.py``): a fact first learned by a node
+in round ``t`` is forwarded in round ``t + 1`` to every neighbor not
+already known to hold it, so each fact spreads along exactly the BFS
+frontier of its origin -- the same frontier the full flood drives.  The
+per-neighbor exclusion only suppresses transmissions whose receiver
+provably already holds the fact (it delivered the fact to us in the same
+round we learned it), which are no-op merges at the receiver.
+Termination is the same ``round_number >= radius`` countdown in both
+programs, so outputs *and* round counts are identical.
+
+:func:`gather_balls` packages a full run; the equivalence tests check its
+output against direct BFS, which is what entitles the layered algorithms
+to use the cheaper accounting of :mod:`repro.localmodel.rounds`.
+:func:`_reference_gather` runs the retained full flood, for equivalence
+tests and benchmarks.
 """
 
 from __future__ import annotations
 
+import gc
 from dataclasses import dataclass
-from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from ..graphs.adjacency import Graph, Vertex
-from .network import NodeContext, NodeProgram, SyncNetwork
+from ..graphs.index import GraphIndex, graph_index
+from .network import NodeContext, NodeProgram, SyncNetwork, TraceSink
 
-__all__ = ["KnownBall", "BallGatherProgram", "gather_balls"]
+__all__ = [
+    "KnownBall",
+    "BallGatherProgram",
+    "DeltaGatherProgram",
+    "gather_balls",
+]
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from .faults import FaultPlan
 
 
 @dataclass
 class KnownBall:
-    """What a node knows after gathering: topology + states within radius."""
+    """What a node knows after gathering: topology + states within radius.
+
+    After an ``r``-round gather the center knows the state of every
+    vertex in ``Gamma^r[v]`` (:attr:`states`) and every edge with at
+    least one endpoint in ``Gamma^r[v]`` (:attr:`edges`) -- including a
+    fringe of edges leading to vertices at distance ``r + 1``, whose IDs
+    are visible but whose states are not.
+    """
 
     center: Vertex
     radius: int
-    #: vertex -> its initial state
+    #: vertex -> its initial state; the keys are exactly Gamma^r[center]
     states: Dict[Vertex, Any]
-    #: edges among known vertices (each a sorted tuple)
+    #: every known edge (each a sorted tuple): at least one endpoint in
+    #: Gamma^r[center], fringe edges to distance r + 1 included
     edges: Set[Tuple[Vertex, Vertex]]
 
     def as_graph(self) -> Graph:
-        """The known ball as a graph: known vertices, edges among them.
+        """The known ball as a graph: exactly ``G[Gamma^r[center]]``.
 
-        Flooding also reveals a fringe of edges toward vertices just
+        Gathering also reveals a fringe of edges toward vertices just
         outside the ball (their IDs are visible but not their states);
-        those are kept in :attr:`edges` but excluded here.
+        those are kept in :attr:`edges` but excluded here, so the result
+        is precisely the subgraph induced by the known vertices.
         """
         inside = set(self.states)
         return Graph(
@@ -52,15 +107,15 @@ class KnownBall:
 
 
 class BallGatherProgram(NodeProgram):
-    """Flood local knowledge for ``radius`` rounds.
+    """Flood local knowledge for ``radius`` rounds (the full-flood reference).
 
     Initial knowledge: own state and own incident edges (a node knows its
     neighbors' IDs in the LOCAL model).  Every round, send all accumulated
     knowledge to all neighbors.  After r rounds the node knows the states
     of Gamma^r[v] and every edge with at least one endpoint in
-    Gamma^{r-1}[v] -- in particular the full induced subgraph on
-    Gamma^{r-1}[v] plus its boundary edges, exactly what the local-view
-    construction of Section 3 consumes.
+    Gamma^r[v] -- in particular the full induced subgraph on Gamma^r[v]
+    plus its fringe edges, exactly what the local-view construction of
+    Section 3 consumes.
 
     Acts on silence: termination is the ``round_number >= radius`` check,
     which must fire even for an isolated vertex that never receives.
@@ -95,22 +150,230 @@ class BallGatherProgram(NodeProgram):
         return self.broadcast((dict(self._states), set(self._edges)))
 
 
+class DeltaGatherProgram(NodeProgram):
+    """Output-sensitive ball gathering: forward only freshly learned facts.
+
+    Same knowledge contract and round count as :class:`BallGatherProgram`
+    (see the module docstring for the equivalence argument), but each
+    round a node sends only the facts it first learned in that round's
+    merge, minus -- per neighbor -- the facts that neighbor itself
+    delivered this round (the only part of the fresh set a neighbor can
+    already hold).  A fact therefore crosses each edge at most once per
+    direction, making total message volume output-sensitive instead of
+    Theta(r * sum |ball|^2).
+
+    Payloads speak :class:`~repro.graphs.index.GraphIndex` integer ids
+    rather than vertex labels; ids are order-isomorphic to the label
+    order, so the final translation back to labels reproduces the
+    reference's sorted edge tuples exactly.
+
+    Acts on silence: termination is the ``round_number >= radius`` check,
+    which must fire even for an isolated vertex that never receives.
+    """
+
+    always_active = True
+
+    def __init__(
+        self,
+        node: Vertex,
+        neighbors: List[Vertex],
+        radius: int,
+        state: Any,
+        index: GraphIndex,
+    ):
+        """Gather to ``radius``; ``index`` interns labels to dense ints.
+
+        The shared snapshot is used purely as a naming palette (label <->
+        id bijection); the program reads no topology from it beyond what
+        the LOCAL model already grants a node (its own neighbor list).
+        """
+        super().__init__(node, neighbors)
+        self.radius = radius
+        self._index = index
+        me = index.vid[node]
+        self._me = me
+        self._nbrs: List[Tuple[int, Vertex]] = [(index.vid[u], u) for u in neighbors]
+        self._uid_of: Dict[Vertex, int] = {u: uid for uid, u in self._nbrs}
+        self._states: Dict[int, Any] = {me: state}
+        self._edges: Set[Tuple[int, int]] = set()
+        for uid, _u in self._nbrs:
+            self._edges.add((me, uid) if me < uid else (uid, me))
+
+    def step(self, ctx: NodeContext) -> Mapping[Vertex, Any]:
+        """Merge deltas, forward what is new, stop at ``radius``.
+
+        The per-neighbor filter collapses to one bulk difference because
+        a fact is fresh for exactly one round: of this round's fresh set,
+        the facts neighbor ``u`` already holds are precisely the facts
+        ``u`` delivered to us this round (anything we exchanged with
+        ``u`` earlier was fresh then, hence knowledge -- not fresh --
+        now).  So the payload for ``u`` is ``fresh - received_from_u``,
+        computed with C-speed set algebra on the raw inbox payloads; no
+        per-fact Python loops survive on the hot path.
+        """
+        states = self._states
+        edges = self._edges
+        fresh_states: Dict[int, Any] = {}
+        fresh_edges: Set[Tuple[int, int]] = set()
+        #: sender uid -> its raw (states, edges) payload this round
+        got: Dict[int, Tuple[Any, Any]] = {}
+        round0 = ctx.round_number == 0
+        if round0:
+            # initial knowledge is this round's delta: own state, own edges
+            fresh_states.update(states)
+            fresh_edges.update(edges)
+        for sender, payload in ctx.inbox.items():
+            d_states, d_edges = payload
+            # bulk set algebra: the fresh part is payload minus knowledge
+            for vid in d_states.keys() - states.keys():
+                st = d_states[vid]
+                states[vid] = st
+                fresh_states[vid] = st
+            ce = d_edges - edges
+            if ce:
+                edges.update(ce)
+                fresh_edges.update(ce)
+            got[self._uid_of[sender]] = (d_states, d_edges)
+        if ctx.round_number >= self.radius:
+            self.done = True
+            verts = self._index.verts
+            edge_labels = self._index.edge_labels
+            self.output = KnownBall(
+                center=self.node,
+                radius=self.radius,
+                states={verts[vid]: states[vid] for vid in sorted(states)},
+                edges={edge_labels[e] for e in edges},
+            )
+            return {}
+        if not fresh_states and not fresh_edges:
+            return {}
+        full = (fresh_states, fresh_edges)
+        outbox: Dict[Vertex, Any] = {}
+        me = self._me
+        for uid, u in self._nbrs:
+            held = got.get(uid)
+            if held is None:
+                if round0:
+                    # the shared edge is mutual knowledge from round 0
+                    # (the neighbor sees my ID); my own state is not
+                    shared = (me, uid) if me < uid else (uid, me)
+                    outbox[u] = (dict(fresh_states), fresh_edges - {shared})
+                else:
+                    # nothing to subtract: share one payload object so
+                    # sealed mode freezes it once per outbox
+                    outbox[u] = full
+                continue
+            d_states, d_edges = held
+            out_states = {
+                vid: fresh_states[vid]
+                for vid in fresh_states.keys() - d_states.keys()
+            }
+            # copy-then-subtract: a set copy is near-memcpy, so this is
+            # O(|delivered|) probes instead of O(|fresh|) rebuild
+            out_edges = set(fresh_edges)
+            out_edges.difference_update(d_edges)
+            if out_states or out_edges:
+                outbox[u] = (out_states, out_edges)
+        return outbox
+
+
+#: The gather program families :func:`gather_balls` can run.
+GATHER_PROGRAMS = ("delta", "reference")
+
+
+def _run_gather(
+    graph: Graph,
+    radius: int,
+    factory: Callable[[Vertex, List[Vertex]], NodeProgram],
+    sealed: bool,
+    scheduler: str,
+    sinks: Optional[List[TraceSink]],
+    faults: Optional["FaultPlan"],
+) -> Tuple[Dict[Vertex, KnownBall], int]:
+    net = SyncNetwork(
+        graph,
+        factory,
+        sealed=sealed,
+        scheduler=scheduler,
+        sinks=sinks,
+        faults=faults,
+    )
+    # The bound is exact: rounds 0..radius inclusive (satellite of the
+    # termination contract -- slack here would mask off-by-ones in the
+    # programs' cutoff logic).
+    #
+    # A gather run allocates payload containers at a rate that makes the
+    # cyclic GC's generation scans a measurable fraction of wall-clock
+    # (the payload graphs are acyclic, so the scans never free anything);
+    # pause collection for the run and let the deferred gen-0 pass run
+    # once at the end.
+    was_enabled = gc.isenabled()
+    if was_enabled:
+        gc.disable()
+    try:
+        outputs = net.run(max_rounds=radius + 1)
+    finally:
+        if was_enabled:
+            gc.enable()
+    return outputs, net.stats.rounds
+
+
 def gather_balls(
     graph: Graph,
     radius: int,
     states: Optional[Dict[Vertex, Any]] = None,
     sealed: bool = False,
     scheduler: str = "active",
+    program: str = "delta",
+    sinks: Optional[List[TraceSink]] = None,
+    faults: Optional["FaultPlan"] = None,
 ) -> Tuple[Dict[Vertex, KnownBall], int]:
-    """Run the flooding protocol; returns per-node balls and rounds used."""
+    """Run the gathering protocol; returns per-node balls and rounds used.
+
+    ``program`` selects the node program: ``"delta"`` (default) is the
+    output-sensitive :class:`DeltaGatherProgram`, ``"reference"`` the
+    full-flood :class:`BallGatherProgram`; their outputs and round counts
+    are identical (the equivalence suite asserts the full matrix).
+    ``sinks`` and ``faults`` pass through to the network unchanged.
+    """
     if radius < 0:
         raise ValueError("radius must be non-negative")
+    if program not in GATHER_PROGRAMS:
+        raise ValueError(
+            f"unknown gather program {program!r}; expected one of {GATHER_PROGRAMS}"
+        )
     state_of = states or {}
-    net = SyncNetwork(
+    if program == "reference":
+
+        def factory(v: Vertex, nbrs: List[Vertex]) -> NodeProgram:
+            return BallGatherProgram(v, nbrs, radius, state_of.get(v))
+
+    else:
+        index = graph_index(graph)
+
+        def factory(v: Vertex, nbrs: List[Vertex]) -> NodeProgram:
+            return DeltaGatherProgram(v, nbrs, radius, state_of.get(v), index)
+
+    return _run_gather(graph, radius, factory, sealed, scheduler, sinks, faults)
+
+
+def _reference_gather(
+    graph: Graph,
+    radius: int,
+    states: Optional[Dict[Vertex, Any]] = None,
+    sealed: bool = False,
+    scheduler: str = "active",
+    sinks: Optional[List[TraceSink]] = None,
+    faults: Optional["FaultPlan"] = None,
+) -> Tuple[Dict[Vertex, KnownBall], int]:
+    """The retained full-flood gather (equivalence tests, benchmarks)."""
+    return gather_balls(
         graph,
-        lambda v, nbrs: BallGatherProgram(v, nbrs, radius, state_of.get(v)),
+        radius,
+        states,
         sealed=sealed,
         scheduler=scheduler,
+        program="reference",
+        sinks=sinks,
+        faults=faults,
     )
-    outputs = net.run(max_rounds=radius + 2)
-    return outputs, net.stats.rounds

@@ -27,7 +27,7 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, List
 
-from .network import MessageRecord, TraceSink, Vertex
+from .network import WIRE_STATUSES, MessageRecord, TraceSink, Vertex
 from .trace import jsonable_payload
 
 __all__ = ["MessageMeter", "payload_words", "payload_bytes"]
@@ -65,6 +65,14 @@ class MessageMeter(TraceSink):
     against the static certificate.  ``per_round`` keeps the round
     series (max words per round) so ball-gathering programs can be
     checked for the expected rise-then-stop shape.
+
+    The meter charges per **wire transmission**, following the counting
+    contract of :data:`~repro.localmodel.network.WIRE_STATUSES`: dropped
+    and delayed payloads crossed the wire and are charged in the round
+    they were sent, but a matured ``"late"`` record is the delivery of
+    an already-charged ``"delayed"`` transmission and is not charged
+    again (the ``messages`` figure in :attr:`per_round` counts charged
+    records the same way).
     """
 
     def __init__(self) -> None:
@@ -81,11 +89,15 @@ class MessageMeter(TraceSink):
         completed: List[Vertex],
         active_count: int,
     ) -> None:
-        """Accumulate payload words/bytes over this round's messages."""
+        """Accumulate payload words/bytes over this round's transmissions."""
         round_max_words = 0
         round_words = 0
         round_max_bytes = 0
+        charged = 0
         for record in messages:
+            if record.status not in WIRE_STATUSES:
+                continue  # "late": the matching "delayed" was already charged
+            charged += 1
             words = payload_words(record.payload)
             round_words += words
             if words > round_max_words:
@@ -96,7 +108,7 @@ class MessageMeter(TraceSink):
         self.per_round.append(
             {
                 "round": round_no,
-                "messages": len(messages),
+                "messages": charged,
                 "max_words": round_max_words,
                 "total_words": round_words,
                 "max_bytes": round_max_bytes,

@@ -99,10 +99,43 @@ __all__ = [
     "TraceSink",
     "vertex_key",
     "SCHEDULERS",
+    "DELIVERY_STATUSES",
+    "WIRE_STATUSES",
 ]
 
 #: The recognized scheduling disciplines of :class:`SyncNetwork`.
 SCHEDULERS = ("active", "dense")
+
+# ----------------------------------------------------------------------
+# The send-vs-deliver counting contract.
+#
+# Every message event carries a MessageRecord status; the two frozensets
+# below partition those statuses into the two quantities the library
+# counts, and they are the single source of truth for RunStats,
+# MessageMeter, and the fault-sweep reports:
+#
+# * a **send** is one outbox entry as returned by a program's step();
+#   RunStats.messages_sent counts sends, regardless of what the network
+#   then does with the message (deliver, drop, delay, duplicate);
+# * a **delivery** is one payload reaching a receiver's inbox; a record
+#   counts as a delivery iff its status is in DELIVERY_STATUSES.  Matured
+#   late and duplicate copies injected by the fault layer are deliveries
+#   even though they were never (separately) sent;
+# * a **wire transmission** is one payload crossing an edge once; a
+#   record counts iff its status is in WIRE_STATUSES.  "late" is
+#   deliberately absent: a late record is the maturity of an
+#   already-charged "delayed" transmission, and charging both would
+#   double-count the wire.  MessageMeter charges payload sizes per
+#   transmission.
+# ----------------------------------------------------------------------
+
+#: Statuses whose records reach a receiver's inbox (the "deliver" side of
+#: the counting contract; see :class:`RunStats`).
+DELIVERY_STATUSES = frozenset({"delivered", "late", "duplicate"})
+
+#: Statuses representing a distinct transmission on the wire (the unit
+#: :class:`~repro.localmodel.meter.MessageMeter` charges).
+WIRE_STATUSES = frozenset({"delivered", "dropped", "delayed", "duplicate"})
 
 
 def vertex_key(v: Vertex) -> Tuple[int, str, Any]:
@@ -252,6 +285,14 @@ class NodeProgram:
 class RunStats:
     """Round and message accounting for a :class:`SyncNetwork` run.
 
+    Counting follows the module's send-vs-deliver contract (see
+    :data:`DELIVERY_STATUSES`): ``messages_sent`` counts outbox entries
+    as returned by the programs, ``messages_delivered`` counts inbox
+    arrivals -- including matured late and duplicate copies injected by
+    the fault layer, which were never separately sent.  On a reliable
+    network the two are equal; under faults, drops push ``delivered``
+    below ``sent`` and duplicates push it above.
+
     Identical under both schedulers for conforming programs: skipped
     nodes would have sent nothing, so rounds, message totals, and
     per-round maxima are scheduling-invariant (asserted program-by-program
@@ -260,13 +301,15 @@ class RunStats:
 
     rounds: int = 0
     messages_sent: int = 0
+    messages_delivered: int = 0
     max_messages_per_round: int = 0
 
-    def record_round(self, messages: int) -> None:
-        """Fold one executed round's message count into the totals."""
+    def record_round(self, sent: int, delivered: int) -> None:
+        """Fold one executed round's send/delivery counts into the totals."""
         self.rounds += 1
-        self.messages_sent += messages
-        self.max_messages_per_round = max(self.max_messages_per_round, messages)
+        self.messages_sent += sent
+        self.messages_delivered += delivered
+        self.max_messages_per_round = max(self.max_messages_per_round, sent)
 
 
 class SyncNetwork:
@@ -363,6 +406,16 @@ class SyncNetwork:
         #: cached per-node frozenset of neighbors for sealed inboxes
         self._sealed_allowed: Dict[Vertex, Any] = {}
         self._undone = len(self.programs)
+        #: spent inbox dicts recycled across rounds on the reliable path.
+        #: Reuse is safe only when nothing can retain a reference to last
+        #: round's inbox beyond the step that consumed it: sealing hands
+        #: out long-lived SealedInbox views, faults keep payload-bearing
+        #: state in flight, and the sanitizer rebuilds inboxes anyway --
+        #: so all three disable the pool.
+        self._inbox_pool: List[Dict[Vertex, Any]] = []
+        self._reuse_inboxes = (
+            not sealed and faults is None and inbox_order is None
+        )
 
     # ------------------------------------------------------------------
     # driving
@@ -370,12 +423,15 @@ class SyncNetwork:
     def run(self, max_rounds: int = 10_000) -> Dict[Vertex, Any]:
         """Run until every program is done; returns the per-node outputs.
 
-        Fast-exits as soon as the last program completes.  Raises
-        ``RuntimeError`` if the round budget is exhausted first, or --
-        under the active-set scheduler -- immediately when running nodes
-        starve (no messages in flight, no wakeups, no always-active
-        programs): a deadlocked or non-conforming program is a bug that
-        should fail loudly rather than spin forever.
+        Fast-exits as soon as the last program completes.  The budget is
+        exact: a run needing ``r`` rounds succeeds with ``max_rounds=r``
+        (completion is re-checked after the final round, not only before
+        stepping).  Raises ``RuntimeError`` if the budget is exhausted
+        with programs still running, or -- under the active-set scheduler
+        -- immediately when running nodes starve (no messages in flight,
+        no wakeups, no always-active programs): a deadlocked or
+        non-conforming program is a bug that should fail loudly rather
+        than spin forever.
         """
         for _round in range(max_rounds):
             if self._undone == 0:
@@ -396,6 +452,8 @@ class SyncNetwork:
                     "(lint rule L6)."
                 )
             self.step_round()
+        if self._undone == 0:
+            return self.outputs()
         raise RuntimeError(
             f"network did not terminate within {max_rounds} rounds; "
             f"{self._undone} nodes still running"
@@ -491,9 +549,17 @@ class SyncNetwork:
             if outbox:
                 outboxes.append((v, outbox))
 
-        message_count = 0
+        sent_count = 0
+        delivered_count = 0
         new_pending: Dict[Vertex, Dict[Vertex, Any]] = {}
         records: Optional[List[MessageRecord]] = [] if self.sinks else None
+
+        if self._reuse_inboxes:
+            # Last round's inboxes were consumed by the steps above;
+            # recycle the dicts so the steady state allocates nothing.
+            for spent in self._pending.values():
+                spent.clear()
+                self._inbox_pool.append(spent)
 
         # An inert plan (nothing randomized, no bursts, nobody crashed,
         # nothing in flight) takes the exact reliable-network path below,
@@ -505,23 +571,38 @@ class SyncNetwork:
         if runtime is not None and runtime.in_flight:
             # Copies the fault layer kept in flight (delays, duplicates)
             # land first, so a fresher direct send can overwrite them.
+            # Maturities are deliveries, not sends: they count toward
+            # stats.messages_delivered but never messages_sent.
             for sender, receiver, payload, status in runtime.matured(round_no):
                 if receiver in runtime.crashed:
                     status = "dropped"
                     runtime.dropped += 1
+                else:
+                    delivered_count += 1
                 if records is not None:
                     records.append(MessageRecord(sender, receiver, payload, status))
                 if status != "dropped" and not self.programs[receiver].done:
                     new_pending.setdefault(receiver, {})[sender] = payload
 
         for sender, outbox in outboxes:
+            # broadcast() reuses one payload object for every receiver;
+            # freeze it once per distinct object, not once per receiver
+            # (the outbox keeps the originals alive, so id() keys are
+            # stable for the duration of this loop).
+            frozen_memo: Optional[Dict[int, Any]] = {} if self.sealed else None
             for receiver, message in outbox.items():
                 if not self.graph.has_edge(sender, receiver):
                     raise ValueError(
                         f"node {sender!r} tried to message non-neighbor {receiver!r}"
                     )
-                payload = freeze(message) if self.sealed else message
-                message_count += 1
+                if frozen_memo is None:
+                    payload = message
+                else:
+                    key = id(message)
+                    if key not in frozen_memo:
+                        frozen_memo[key] = freeze(message)
+                    payload = frozen_memo[key]
+                sent_count += 1
                 if faults_active:
                     assert runtime is not None
                     if receiver in runtime.crashed:
@@ -554,10 +635,16 @@ class SyncNetwork:
                         runtime.schedule(
                             round_no + 1, sender, receiver, payload, "duplicate"
                         )
+                delivered_count += 1
                 if records is not None:
                     records.append(MessageRecord(sender, receiver, payload))
                 if not self.programs[receiver].done:
-                    new_pending.setdefault(receiver, {})[sender] = payload
+                    inbox = new_pending.get(receiver)
+                    if inbox is None:
+                        inbox = new_pending[receiver] = (
+                            self._inbox_pool.pop() if self._inbox_pool else {}
+                        )
+                    inbox[sender] = payload
 
         if self.inbox_order is not None:
             new_pending = {
@@ -576,7 +663,7 @@ class SyncNetwork:
 
         self._pending = new_pending
         self._active = next_active
-        self.stats.record_round(message_count)
+        self.stats.record_round(sent_count, delivered_count)
 
         if self.sinks:
             assert records is not None

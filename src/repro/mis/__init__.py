@@ -11,7 +11,12 @@
 
 from .absorbing import absorbing_mis, is_absorbing
 from .chordal_mis import ChordalMISResult, chordal_mis, mis_peeling_parameters
-from .distributed_mis import DistributedMISReport, distributed_chordal_mis
+from .distributed_mis import (
+    DistributedMISReport,
+    distributed_chordal_mis,
+    message_level_mis_decisions,
+    mis_local_parameters,
+)
 from .exact import (
     greedy_simplicial_mis,
     independence_number_chordal,
@@ -27,6 +32,8 @@ __all__ = [
     "mis_peeling_parameters",
     "DistributedMISReport",
     "distributed_chordal_mis",
+    "message_level_mis_decisions",
+    "mis_local_parameters",
     "greedy_simplicial_mis",
     "independence_number_chordal",
     "maximum_independent_set_chordal",

@@ -26,15 +26,22 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
 
+from ..coloring.distributed_mvc import message_level_layer_decisions
+from ..coloring.parameters import ColoringParameters
 from ..graphs.adjacency import Graph, Vertex
 from ..localmodel.rounds import NodeClocks
 from ..localmodel.rulingset import charged_rounds_distance_k, log_star
 from .chordal_mis import ChordalMISResult, chordal_mis, mis_peeling_parameters
 from .interval_mis import mis_parameters
 
-__all__ = ["DistributedMISReport", "distributed_chordal_mis"]
+__all__ = [
+    "DistributedMISReport",
+    "distributed_chordal_mis",
+    "mis_local_parameters",
+    "message_level_mis_decisions",
+]
 
 
 @dataclass
@@ -55,6 +62,57 @@ class DistributedMISReport:
 
     def size(self) -> int:
         return self.result.size()
+
+
+def mis_local_parameters(d: int) -> ColoringParameters:
+    """Decision constants for the MIS peeling with path parameter ``d``.
+
+    The MIS peeling (Algorithm 6) peels pendant paths always and internal
+    paths of diameter >= 2d + 3 in the non-final iterations -- the same
+    rule family as the coloring pipeline's PruneTree, with
+    ``internal_threshold = 2d + 3``.  The collection radius mirrors the
+    validated geometry of :meth:`ColoringParameters.from_k` (three
+    thresholds deep), which is what makes the per-node decision exact;
+    ``recolor_distance`` is carried only for completeness (MIS has no
+    correction phase).  Pass a scaled-down ``d`` (not ceil(64/eps)) to
+    exercise the message-level machinery at tractable radii.
+    """
+    if d < 1:
+        raise ValueError("d must be >= 1")
+    threshold = 2 * d + 3
+    return ColoringParameters(
+        k=d,
+        recolor_distance=d + 3,
+        internal_threshold=threshold,
+        collect_radius=3 * threshold,
+    )
+
+
+def message_level_mis_decisions(
+    current_graph: Graph,
+    d: int,
+    sealed: bool = False,
+    scheduler: str = "active",
+    program: str = "delta",
+) -> Tuple[Dict[Vertex, bool], int]:
+    """Per-node MIS-peeling layer decisions via real ball gathering.
+
+    Message-level witness of the Section 7.3 claim that nodes decide
+    their peeling layer from collected balls alone: floods for
+    ``mis_local_parameters(d).collect_radius`` rounds (delta gathering by
+    default), then each node decides membership in the current layer from
+    its own ball.  Matches the centralized peeling's non-final
+    iterations (the final iteration's independence-number rule needs
+    kappa-aware coordination and is accounted, not simulated).
+    Returns ``(decisions, rounds)``.
+    """
+    return message_level_layer_decisions(
+        current_graph,
+        mis_local_parameters(d),
+        sealed=sealed,
+        scheduler=scheduler,
+        program=program,
+    )
 
 
 def distributed_chordal_mis(graph: Graph, epsilon: float) -> DistributedMISReport:

@@ -37,6 +37,7 @@ from ..graphs import (
     maximal_cliques,
     num_colors,
     path_graph,
+    random_chordal_graph,
     random_k_tree,
     simplicial_vertices,
     unit_interval_chain,
@@ -60,6 +61,7 @@ __all__ = [
     "x1_cell",
     "k1_cell",
     "c1_cell",
+    "d1_cell",
     "f7_cell",
 ]
 
@@ -449,6 +451,69 @@ def c1_cell(program: str, n: int, seed: int) -> Dict[str, Any]:
         "total_words": meter.total_payload_words,
         "static_class": cert.message_class,
         "horizon": cert.horizon,
+    }
+
+
+#: the D1 pipelines and their decision parameters (built lazily per cell)
+_D1_PIPELINES = ("mvc", "mis")
+
+
+def _d1_params(pipeline: str):
+    from ..coloring.parameters import ColoringParameters
+    from ..mis import mis_local_parameters
+
+    if pipeline == "mvc":
+        # the literal Algorithm 3 constants at k=1: threshold 3, radius 10
+        return ColoringParameters.paper_constants(1)
+    if pipeline == "mis":
+        # the MIS peeling rule at a scaled-down d=1: threshold 5, radius 15
+        return mis_local_parameters(1)
+    raise ValueError(f"unknown D1 pipeline {pipeline!r}")
+
+
+def d1_cell(pipeline: str, family: str, n: int, seed: int, sample: int) -> Dict[str, Any]:
+    """D1: message-level layer decisions at scale via delta gathering.
+
+    Runs the real delta-gather program over the whole instance, then has
+    ``sample`` evenly spaced nodes decide layer membership from their
+    gathered balls alone, each validated against the centralized decision
+    rule on the global graph.  Feasibility is the point — these sizes
+    were unreachable under the full flood — and the wall-clock /
+    message-volume comparison against the flood lives in
+    ``BENCH_network.json``.
+    """
+    from ..coloring import local_layer_decision, local_layer_decision_from_ball
+    from ..localmodel import gather_balls
+
+    if family == "path":
+        g = path_graph(n)
+    elif family == "interval":
+        g = unit_interval_chain(n, seed=seed)
+    elif family == "chordal":
+        g = random_chordal_graph(n, seed=seed)
+    else:
+        raise ValueError(f"unknown D1 family {family!r}")
+    params = _d1_params(pipeline)
+    balls, rounds = gather_balls(g, params.collect_radius)
+    verts = sorted(g.vertices())
+    step = max(1, len(verts) // sample)
+    sampled = verts[::step][:sample]
+    agree = 0
+    joined = 0
+    for v in sampled:
+        from_ball = local_layer_decision_from_ball(balls[v], params)
+        joined += 1 if from_ball else 0
+        if from_ball == local_layer_decision(g, v, params):
+            agree += 1
+    return {
+        "pipeline": pipeline,
+        "family": family,
+        "n": len(g),
+        "radius": params.collect_radius,
+        "rounds": rounds,
+        "sampled": len(sampled),
+        "agree": agree,
+        "joined": joined,
     }
 
 

@@ -210,6 +210,38 @@ def _plan_f7(programs=F7_PROGRAMS, drops=(0.1, 0.3), n=16, seed=0):
     ]
 
 
+#: the D1 sweep: message-level pipelines on large instances
+D1_PIPELINES = ("mvc", "mis")
+
+
+def _plan_d1(
+    pipelines=D1_PIPELINES,
+    path_ns=(2000, 20000),
+    interval_ns=(500, 2000),
+    chordal_ns=(200, 500),
+    sample=64,
+    seed=0,
+):
+    # paths scale to n = 2 * 10^4; interval chains have denser balls and
+    # are capped where the per-node view reconstruction stays tractable;
+    # random chordal graphs peel in several layers (mixed decisions) but
+    # their balls cover most of the graph, so they stay smaller still
+    return [
+        CellSpec(
+            "D1",
+            "d1_cell",
+            {"pipeline": p, "family": f, "n": n, "seed": seed, "sample": sample},
+        )
+        for p in pipelines
+        for f, ns in (
+            ("path", path_ns),
+            ("interval", interval_ns),
+            ("chordal", chordal_ns),
+        )
+        for n in ns
+    ]
+
+
 def _plan_k1(
     families=("ktree3", "interval", "path"),
     ns=(10000, 30000, 100000),
@@ -475,6 +507,33 @@ def _render_c1(specs, values):
     )
 
 
+def _render_d1(specs, values):
+    rows = [
+        (
+            s.params["pipeline"],
+            s.params["family"],
+            v["n"],
+            v["radius"],
+            v["rounds"],
+            f"{v['agree']}/{v['sampled']}",
+            v["joined"],
+        )
+        for s, v in zip(specs, values)
+        if v is not None
+    ]
+    return (
+        "(message-level layer decisions from delta-gathered balls; `agree`"
+        " counts sampled nodes whose from-ball decision matches the"
+        " centralized rule, `joined` how many of them enter the current"
+        " layer; wall-clock and message-volume vs the full flood live in"
+        " BENCH_network.json)\n\n"
+        + format_table(
+            ["pipeline", "family", "n", "radius", "rounds", "agree", "joined"],
+            rows,
+        )
+    )
+
+
 def _render_f7(specs, values):
     rows = []
     for (program, retry), cells in _groups(
@@ -647,6 +706,25 @@ REGISTRY: Dict[str, Experiment] = {
             _plan_c1,
             _render_c1,
             {"programs": C1_PROGRAMS, "ns": (16, 32, 64)},
+        ),
+        Experiment(
+            "D1",
+            "Distributed pipeline at scale: message-level decisions via delta gathering",
+            (
+                "repro.localmodel",
+                "repro.coloring",
+                "repro.mis",
+                "repro.graphs.generators",
+            ),
+            _plan_d1,
+            _render_d1,
+            {
+                "pipelines": D1_PIPELINES,
+                "path_ns": (2000, 20000),
+                "interval_ns": (500, 2000),
+                "chordal_ns": (200, 500),
+                "sample": 64,
+            },
         ),
         Experiment(
             "F7",

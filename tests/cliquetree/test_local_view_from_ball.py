@@ -1,0 +1,45 @@
+"""local_view_from_ball: gathered balls reconstruct the same local view.
+
+``compute_local_view`` slices the global graph; ``local_view_from_ball``
+consumes only a :class:`KnownBall` from a real message-passing gather.
+Because ``ball.as_graph()`` is exactly ``G[Gamma^r[center]]`` and
+shortest paths of length <= r stay inside the ball, the two must agree
+on every component of the view.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cliquetree import compute_local_view, local_view_from_ball
+from repro.graphs import paper_example_graph, random_chordal_graph
+from repro.localmodel import gather_balls
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 5_000), n=st.integers(2, 22), radius=st.integers(1, 4))
+def test_view_from_ball_matches_direct_computation(seed, n, radius):
+    g = random_chordal_graph(n, seed=seed)
+    balls, _ = gather_balls(g, radius)
+    for v, ball in balls.items():
+        direct = compute_local_view(g, v, radius)
+        from_ball = local_view_from_ball(ball)
+        assert from_ball.center == v and from_ball.radius == radius
+        assert from_ball.forest == direct.forest
+        assert from_ball.confirmed == direct.confirmed
+        assert from_ball.interior == direct.interior
+
+
+def test_paper_example_views_agree_for_every_center():
+    g = paper_example_graph()
+    balls, _ = gather_balls(g, 2)
+    for v, ball in balls.items():
+        assert local_view_from_ball(ball).forest == compute_local_view(
+            g, v, 2
+        ).forest
+
+
+def test_radius_zero_ball_rejected():
+    g = random_chordal_graph(8, seed=1)
+    balls, _ = gather_balls(g, 0)
+    with pytest.raises(ValueError, match="radius >= 1"):
+        local_view_from_ball(balls[g.vertices()[0]])

@@ -10,7 +10,13 @@ simulator, and the decision function consumes only the gathered ball.
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.coloring import ColoringParameters, color_chordal_graph, local_layer_decision
+from repro.coloring import (
+    ColoringParameters,
+    color_chordal_graph,
+    local_layer_decision,
+    local_layer_decision_from_ball,
+    message_level_layer_decisions,
+)
 from repro.graphs import paper_example_graph, random_chordal_graph
 from repro.localmodel import gather_balls
 
@@ -46,3 +52,33 @@ def test_paper_example_message_level():
     layer1 = color_chordal_graph(g, k=1).peeling.nodes_of_layer(1)
     decisions = decisions_from_flooded_balls(g, params)
     assert {v for v, joined in decisions.items() if joined} == layer1
+
+
+@pytest.mark.parametrize("program", ("delta", "reference"))
+def test_message_level_helper_matches_flooded_decisions(program):
+    """The packaged entry point equals the hand-rolled gather+decide loop."""
+    g = random_chordal_graph(20, seed=23)
+    params = ColoringParameters.paper_constants(1)
+    expected = decisions_from_flooded_balls(g, params)
+    decisions, rounds = message_level_layer_decisions(g, params, program=program)
+    assert rounds == params.collect_radius + 1
+    assert decisions == expected
+
+
+def test_from_ball_decision_rejects_radius_mismatch():
+    g = random_chordal_graph(10, seed=1)
+    params = ColoringParameters.paper_constants(1)
+    balls, _ = gather_balls(g, params.collect_radius + 1)
+    with pytest.raises(ValueError, match="collect_radius"):
+        local_layer_decision_from_ball(balls[g.vertices()[0]], params)
+
+
+def test_from_ball_decision_matches_graph_slice_decision():
+    """from-ball == from-global-graph, node by node (Algorithm 3 coherence)."""
+    g = random_chordal_graph(18, seed=4)
+    params = ColoringParameters.paper_constants(1)
+    balls, _ = gather_balls(g, params.collect_radius)
+    for v, ball in balls.items():
+        assert local_layer_decision_from_ball(ball, params) == (
+            local_layer_decision(g, v, params)
+        )

@@ -161,6 +161,107 @@ class TestAccumulators:
         assert list(df.accumulators) == ["log"]
 
 
+class TestAliasAndBulkSetAlgebra:
+    """The delta-gather shapes: growth through a local alias and bulk
+    set algebra must not launder accumulation past the certifier."""
+
+    def test_subscript_growth_through_alias_charges_the_attr(self):
+        (df,) = dataflows("""
+            class P(NodeProgram):
+                def __init__(self, node, neighbors):
+                    super().__init__(node, neighbors)
+                    self._states = {}
+                def step(self, ctx):
+                    states = self._states
+                    for sender, payload in ctx.inbox.items():
+                        states[sender] = payload
+                    return self.broadcast(1)
+        """).values()
+        assert list(df.accumulators) == ["_states"]
+        assert df.accumulators["_states"].inbox_fed
+
+    def test_mutator_growth_through_alias_charges_the_attr(self):
+        (df,) = dataflows("""
+            class P(NodeProgram):
+                def __init__(self, node, neighbors):
+                    super().__init__(node, neighbors)
+                    self._edges = set()
+                def step(self, ctx):
+                    edges = self._edges
+                    for sender, payload in ctx.inbox.items():
+                        edges.update(payload)
+                    return self.broadcast(1)
+        """).values()
+        assert list(df.accumulators) == ["_edges"]
+        assert df.accumulators["_edges"].inbox_fed
+
+    def test_rebound_alias_stops_charging_the_attr(self):
+        # once the name is rebound to fresh data it no longer aliases
+        # the attribute, so growing it is local-only
+        (df,) = dataflows("""
+            class P(NodeProgram):
+                def __init__(self, node, neighbors):
+                    super().__init__(node, neighbors)
+                    self._states = {}
+                def step(self, ctx):
+                    states = self._states
+                    states = {}
+                    for sender, payload in ctx.inbox.items():
+                        states[sender] = payload
+                    return self.broadcast(1)
+        """).values()
+        assert df.accumulators == {}
+
+    def test_set_difference_preserves_message_size(self):
+        (df,) = dataflows("""
+            class P(NodeProgram):
+                def step(self, ctx):
+                    for sender, payload in ctx.inbox.items():
+                        return self.broadcast(payload - {self.node})
+                    return {}
+        """).values()
+        assert df.max_payload_size == MSG
+
+    def test_local_container_of_messages_is_accumulated_state(self):
+        # a local dict filled with one entry per received payload is a
+        # whole-inbox capture, exactly like list(ctx.inbox.values())
+        assert classify("""
+            class P(NodeProgram):
+                def step(self, ctx):
+                    fresh = {}
+                    for sender, payload in ctx.inbox.items():
+                        fresh[sender] = payload
+                    return self.broadcast(fresh)
+        """) == "unbounded"
+
+    def test_delta_forwarding_shape_is_a_bounded_ball(self):
+        # the DeltaGatherProgram skeleton: merge inbox deltas through
+        # aliases, forward the fresh part with bulk set algebra, stop at
+        # the declared radius
+        (df,) = dataflows("""
+            class P(NodeProgram):
+                def __init__(self, node, neighbors, radius):
+                    super().__init__(node, neighbors)
+                    self.radius = radius
+                    self._edges = set()
+                def step(self, ctx):
+                    edges = self._edges
+                    fresh = set()
+                    for sender, payload in ctx.inbox.items():
+                        new = payload - edges
+                        edges.update(new)
+                        fresh.update(new)
+                    if ctx.round_number >= self.radius:
+                        self.done = True
+                        return {}
+                    return self.broadcast(fresh)
+        """).values()
+        cert = certify(df)
+        assert cert.message_class == "ball"
+        assert cert.horizon == "radius"
+        assert list(df.accumulators) == ["_edges"]
+
+
 class TestInterprocedural:
     def test_helper_method_summary_propagates_acc(self):
         assert classify("""
@@ -230,6 +331,7 @@ class TestShippedCertificates:
         "LeaderElectionProgram": ("const", None),
         "EchoCountProgram": ("const", None),
         "BallGatherProgram": ("ball", "radius"),
+        "DeltaGatherProgram": ("ball", "radius"),
         "LinialPathProgram": ("const", None),
         "LubyMISProgram": ("const", None),
         "RandomizedColoringProgram": ("const", None),

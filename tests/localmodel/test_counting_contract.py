@@ -1,0 +1,151 @@
+"""The send-vs-deliver counting contract, pinned against the trace.
+
+One definition, three consumers: :data:`DELIVERY_STATUSES` says which
+:class:`MessageRecord` statuses reached an inbox (they sum to
+``stats.messages_delivered``), :data:`WIRE_STATUSES` says which crossed
+the wire (they sum to the :class:`MessageMeter` charges), and
+``stats.messages_sent`` counts program sends only.  These tests run the
+same workload under delay and duplicate fault plans and reconcile all
+three counters against a full :class:`RecordingSink` transcript --
+the regression for the era when matured deliveries bypassed
+``record_round`` and the meter double-charged late copies.
+"""
+
+import pytest
+
+from repro.graphs import path_graph, random_chordal_graph
+from repro.localmodel import (
+    DELIVERY_STATUSES,
+    WIRE_STATUSES,
+    FaultPlan,
+    MessageMeter,
+    RecordingSink,
+    SyncNetwork,
+    gather_balls,
+)
+from repro.localmodel.gather import BallGatherProgram
+
+
+def _run_gather_network(graph, radius, faults=None, sinks=None, max_rounds=None):
+    net = SyncNetwork(
+        graph,
+        lambda v, nbrs: BallGatherProgram(v, nbrs, radius, ("s", v)),
+        faults=faults,
+        sinks=sinks,
+    )
+    net.run(max_rounds=max_rounds if max_rounds is not None else radius + 1)
+    return net
+
+
+def _status_counts(recording):
+    counts = {}
+    for rt in recording.rounds:
+        for record in rt.messages:
+            counts[record.status] = counts.get(record.status, 0) + 1
+    return counts
+
+
+class TestContractDefinitions:
+    def test_partition_of_statuses(self):
+        # every status is either a delivery, a wire transmission, or both;
+        # "late" delivers without a new transmission, "dropped"/"delayed"
+        # transmit without delivering
+        assert DELIVERY_STATUSES == {"delivered", "late", "duplicate"}
+        assert WIRE_STATUSES == {"delivered", "dropped", "delayed", "duplicate"}
+        assert DELIVERY_STATUSES | WIRE_STATUSES == {
+            "delivered",
+            "dropped",
+            "delayed",
+            "late",
+            "duplicate",
+        }
+
+
+class TestReliablePath:
+    def test_sent_equals_delivered_without_faults(self):
+        net = _run_gather_network(random_chordal_graph(14, seed=9), 3)
+        assert net.stats.messages_sent > 0
+        assert net.stats.messages_delivered == net.stats.messages_sent
+
+
+@pytest.mark.parametrize(
+    "plan",
+    [
+        FaultPlan(delay=1.0, max_delay=2, seed=3),
+        FaultPlan(duplicate=1.0, seed=3),
+        FaultPlan(delay=0.5, duplicate=0.5, max_delay=3, seed=17),
+    ],
+    ids=["all-delayed", "all-duplicated", "delay+duplicate"],
+)
+class TestFaultyCounting:
+    def test_stats_reconcile_with_transcript(self, plan):
+        recording = RecordingSink()
+        # generous budget so delayed copies can mature inside the run
+        net = _run_gather_network(
+            path_graph(10), 3, faults=plan, sinks=[recording], max_rounds=12
+        )
+        counts = _status_counts(recording)
+
+        # program sends: a record is written at send time with status
+        # delivered/dropped/delayed ("duplicate" records are the matured
+        # extra copies, never sends)
+        sends = (
+            counts.get("delivered", 0)
+            + counts.get("dropped", 0)
+            + counts.get("delayed", 0)
+        )
+        assert net.stats.messages_sent == sends
+
+        # deliveries: exactly the DELIVERY_STATUSES records -- matured
+        # late/duplicate copies must be counted (the old bug skipped them)
+        delivered = sum(counts.get(s, 0) for s in DELIVERY_STATUSES)
+        assert net.stats.messages_delivered == delivered
+
+    def test_meter_charges_wire_transmissions_once(self, plan):
+        recording = RecordingSink()
+        meter = MessageMeter()
+        _run_gather_network(
+            path_graph(10),
+            3,
+            faults=plan,
+            sinks=[recording, meter],
+            max_rounds=12,
+        )
+        counts = _status_counts(recording)
+        wire = sum(counts.get(s, 0) for s in WIRE_STATUSES)
+        assert sum(r["messages"] for r in meter.per_round) == wire
+        # a matured "late" record is a re-delivery of an already-charged
+        # "delayed" transmission and must not be charged again (copies
+        # still in flight when the run ends never mature at all)
+        assert counts.get("late", 0) <= counts.get("delayed", 0)
+
+
+class TestDelayedDeliveriesReachStats:
+    def test_late_and_duplicate_copies_count_as_deliveries(self):
+        plan = FaultPlan(delay=1.0, max_delay=1, seed=5)
+        net = _run_gather_network(path_graph(8), 2, faults=plan, max_rounds=10)
+        # with every message delayed, direct deliveries are zero; all of
+        # messages_delivered comes from matured "late" records
+        assert net.stats.messages_delivered > 0
+
+        dup = FaultPlan(duplicate=1.0, seed=5)
+        net2 = _run_gather_network(path_graph(8), 2, faults=dup, max_rounds=10)
+        assert net2.stats.messages_delivered > net2.stats.messages_sent
+
+
+class TestExactRoundBudget:
+    def test_run_succeeds_with_exact_budget(self):
+        for radius in (0, 1, 3):
+            net = _run_gather_network(path_graph(9), radius)
+            assert net.stats.rounds == radius + 1
+
+    def test_run_fails_one_below_exact_budget(self):
+        with pytest.raises(RuntimeError, match="did not terminate"):
+            _run_gather_network(path_graph(9), 3, max_rounds=3)
+
+    def test_gather_balls_runs_on_exact_budget(self):
+        # gather_balls passes max_rounds=radius+1 to the network: any
+        # off-by-one in the programs' cutoff logic fails loudly here
+        balls, rounds = gather_balls(path_graph(9), 4)
+        assert rounds == 5
+        assert set(balls) == set(range(9))

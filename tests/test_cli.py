@@ -374,7 +374,8 @@ class TestFaultsCommand:
         assert payload["grid"]
         by_name = {p["program"]: p for p in payload["programs"]}
         assert set(by_name) == {
-            "bfs", "leader", "echo", "gather", "luby", "coloring", "linial"
+            "bfs", "leader", "echo", "gather", "gather-delta", "luby",
+            "coloring", "linial",
         }
         for entry in by_name.values():
             assert entry["classification"] in (

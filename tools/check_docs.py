@@ -28,7 +28,10 @@ instructions can never silently rot:
 * ``docs/faults.md`` must exist and document the fault-injection and
   resilience surface (``FaultPlan``, the plan grammar, the three
   classifications, ``ReliableProgram``, ``resilience_check``,
-  ``repro faults``, ``BENCH_faults.json``).
+  ``repro faults``, ``BENCH_faults.json``);
+* ``docs/gather.md`` must exist and document the ball-gathering surface
+  (``KnownBall``, the delta/reference program pair, the counting
+  contract's status sets, ``bench_network`` / ``BENCH_network.json``).
 
 Usage::
 
@@ -245,6 +248,30 @@ def check(root: Path) -> List[str]:
                 problems.append(
                     f"docs/faults.md: {term!r} is never mentioned (the "
                     "fault/resilience surface must stay documented)"
+                )
+
+    gather_doc = root / "docs" / "gather.md"
+    if not gather_doc.is_file():
+        problems.append("docs/gather.md: file missing")
+    else:
+        text = gather_doc.read_text()
+        for term in (
+            "KnownBall",
+            "gather_balls",
+            "BallGatherProgram",
+            "DeltaGatherProgram",
+            "as_graph",
+            "local_view_from_ball",
+            "DELIVERY_STATUSES",
+            "WIRE_STATUSES",
+            "radius + 1",
+            "bench_network",
+            "BENCH_network.json",
+        ):
+            if term not in text:
+                problems.append(
+                    f"docs/gather.md: {term!r} is never mentioned (the "
+                    "ball-gathering contract must stay documented)"
                 )
 
     # 4. every docs page is reachable: linked from the README and from
