@@ -9,12 +9,14 @@ Commands:
 * ``report [IDS...]``  -- regenerate the EXPERIMENTS.md tables (serial)
 * ``run``              -- the parallel cached experiment engine
   (``--list``, ``--ids``, ``--jobs``, ``--no-cache``, ``--clean-cache``,
-  ``--bench``; see :mod:`repro.runner` and docs/runner.md)
+  ``--bench``, ``--executor``, ``--profile``; see :mod:`repro.runner`
+  and docs/runner.md)
 * ``lint [PATHS...]``  -- LOCAL-model conformance linter (see ``repro.lint``)
 * ``trace GRAPH``      -- run a stock message-passing program with trace
   sinks attached: per-round metrics, an optional ``--timeline``, and
   ``--jsonl`` export (schema in docs/tracing.md); ``--faults SPEC``
-  attaches a fault plan (grammar in docs/faults.md)
+  attaches a fault plan (grammar in docs/faults.md); ``--executor
+  batch|auto`` compiles the run to whole-round kernels (docs/executor.md)
 * ``faults``           -- fault-injection front-end: a single run under a
   ``--plan`` with validity monitoring, or ``--sweep`` to classify every
   stock program as self-healing / degraded-but-valid / unsafe
@@ -123,6 +125,14 @@ def build_parser() -> argparse.ArgumentParser:
                      help="benchmark serial vs parallel vs warm cache")
     run.add_argument("--bench-output", default="BENCH_runner.json", metavar="PATH",
                      help="where --bench writes its summary")
+    run.add_argument("--executor", choices=("node", "batch", "auto"), default=None,
+                     help="override the executor mode of the executor-aware "
+                     "experiments (D1, K2); default: their registered plans")
+    run.add_argument("--profile", action="store_true",
+                     help="profile under cProfile (forces --jobs 1) and print "
+                     "the top 15 functions by cumulative time")
+    run.add_argument("--profile-out", metavar="PATH",
+                     help="with --profile: dump the raw pstats data to PATH")
 
     trace = sub.add_parser(
         "trace", help="run a stock program with trace sinks attached"
@@ -133,9 +143,19 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--root", type=int, default=None,
                        help="root vertex for bfs/echo (default: smallest id)")
     trace.add_argument("--radius", type=int, default=2,
-                       help="gathering radius for --program gather")
+                       help="gathering radius for --program gather/gather-delta")
     trace.add_argument("--seed", type=int, default=0,
                        help="seed for the randomized programs (luby, coloring)")
+    trace.add_argument("--executor", choices=("node", "batch", "auto"),
+                       default="node",
+                       help="dispatch mode (default: node, the only mode that "
+                       "supports trace sinks; batch/auto compile the run to "
+                       "whole-round kernels, see docs/executor.md)")
+    trace.add_argument("--profile", action="store_true",
+                       help="profile under cProfile and print the top 15 "
+                       "functions by cumulative time")
+    trace.add_argument("--profile-out", metavar="PATH",
+                       help="with --profile: dump the raw pstats data to PATH")
     trace.add_argument("--scheduler", choices=("active", "dense"),
                        default="active",
                        help="node scheduler (default: active; dense = reference)")
@@ -226,7 +246,9 @@ def _prepare(graph: Graph, allow_triangulate: bool, out) -> Graph:
 
 
 #: The stock programs ``repro trace`` can put on the wire.
-TRACE_PROGRAMS = ("bfs", "leader", "echo", "gather", "luby", "coloring")
+TRACE_PROGRAMS = (
+    "bfs", "leader", "echo", "gather", "gather-delta", "luby", "coloring"
+)
 
 
 def _trace_factory(args, graph: Graph):
@@ -267,6 +289,18 @@ def _trace_factory(args, graph: Graph):
             f"gathered radius-{args.radius} balls; largest has "
             f"{max(len(ball.states) for ball in outputs.values())} vertices"
         )
+    elif args.program == "gather-delta":
+        from .graphs.index import graph_index
+        from .localmodel import DeltaGatherProgram
+
+        index = graph_index(graph)
+        factory = lambda v, nbrs: DeltaGatherProgram(
+            v, nbrs, args.radius, None, index
+        )
+        describe = lambda outputs: (
+            f"delta-gathered radius-{args.radius} balls; largest has "
+            f"{max(len(ball.states) for ball in outputs.values())} vertices"
+        )
     elif args.program == "luby":
         from .baselines.luby import LubyMISProgram
 
@@ -292,6 +326,56 @@ def _trace_factory(args, graph: Graph):
     return factory, describe
 
 
+def _trace_batch(args, graph, factory, describe, out) -> int:
+    """``repro trace --executor batch|auto``: whole-round kernel dispatch.
+
+    The batch executor replaces per-message dispatch with per-round
+    kernels, so there is nothing for trace sinks to observe; the
+    sink-dependent flags are rejected up front rather than silently
+    producing an empty trace (``batch``) or falling back (``auto``).
+    """
+    from .localmodel import BatchExecutor
+
+    for given, flag in (
+        (args.jsonl, "--jsonl"),
+        (args.timeline, "--timeline"),
+        (args.faults, "--faults"),
+    ):
+        if given:
+            raise SystemExit(
+                f"repro trace: {flag} needs per-round trace sinks, which "
+                "the batch executor bypasses; drop the flag or use "
+                "--executor node"
+            )
+    net = BatchExecutor(
+        graph,
+        factory,
+        sealed=args.sealed,
+        scheduler=args.scheduler,
+        mode=args.executor,
+    )
+    try:
+        outputs = net.run(max_rounds=args.max_rounds)
+    except (RuntimeError, ValueError) as exc:
+        # blockers (a program without a kernel under --executor batch)
+        # or round-budget exhaustion
+        raise SystemExit(f"trace aborted: {exc}")
+    stats = net.stats
+    print(
+        f"{args.program} on {len(graph)} vertices "
+        f"({args.executor} executor -> {net.executed} path"
+        f"{', sealed' if args.sealed else ''})",
+        file=out,
+    )
+    print(
+        f"rounds: {stats.rounds}  messages: {stats.messages_sent}  "
+        f"max/round: {stats.max_messages_per_round}",
+        file=out,
+    )
+    print(describe(outputs), file=out)
+    return 0
+
+
 def _cmd_trace(args, out) -> int:
     """The ``repro trace`` front-end over the trace sinks."""
     from .localmodel import JSONLTraceSink, MetricsSink, TracedNetwork
@@ -301,6 +385,8 @@ def _cmd_trace(args, out) -> int:
         print("graph is empty; nothing to trace", file=out)
         return 0
     factory, describe = _trace_factory(args, graph)
+    if args.executor != "node":
+        return _trace_batch(args, graph, factory, describe, out)
 
     plan = None
     if args.faults:
@@ -634,12 +720,22 @@ def _cmd_run(args, out) -> int:
     import os
 
     jobs = args.jobs or os.cpu_count() or 1
+    if args.profile:
+        # pool workers escape the profiler; keep every cell in-process
+        jobs = 1
+    overrides = None
+    if args.executor:
+        overrides = {
+            "D1": {"executor": args.executor},
+            "K2": {"executors": (args.executor,)},
+        }
     cache = None if args.no_cache else runner.ResultCache(cache_dir)
     report, results, stats = runner.run_experiments(
         ids,
         jobs=jobs,
         cache=cache,
         timeout=args.timeout,
+        overrides=overrides,
         jsonl=args.jsonl,
     )
     print(report, file=out)
@@ -652,6 +748,34 @@ def _cmd_run(args, out) -> int:
             file=sys.stderr,
         )
     return 1 if failures else 0
+
+
+def _with_profile(args, command, out) -> int:
+    """Run ``command()`` under cProfile when ``--profile`` was given.
+
+    The top 15 functions by cumulative time print after the command's
+    own output; ``--profile-out`` additionally dumps the raw ``pstats``
+    data for offline analysis (``python -m pstats``, snakeviz, ...).
+    """
+    if not getattr(args, "profile", False):
+        return command()
+    import cProfile
+    import io
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        return command()
+    finally:
+        profiler.disable()
+        stream = io.StringIO()
+        stats = pstats.Stats(profiler, stream=stream)
+        stats.sort_stats("cumulative").print_stats(15)
+        print(stream.getvalue().rstrip(), file=out)
+        if args.profile_out:
+            profiler.dump_stats(args.profile_out)
+            print(f"raw profile stats written to {args.profile_out}", file=out)
 
 
 def main(argv: Optional[list] = None, out=None) -> int:
@@ -724,10 +848,10 @@ def main(argv: Optional[list] = None, out=None) -> int:
         return 0
 
     if args.command == "run":
-        return _cmd_run(args, out)
+        return _with_profile(args, lambda: _cmd_run(args, out), out)
 
     if args.command == "trace":
-        return _cmd_trace(args, out)
+        return _with_profile(args, lambda: _cmd_trace(args, out), out)
 
     if args.command == "faults":
         return _cmd_faults(args, out)

@@ -199,6 +199,7 @@ def message_level_layer_decisions(
     sealed: bool = False,
     scheduler: str = "active",
     program: str = "delta",
+    executor: str = "auto",
 ) -> Tuple[Dict[Vertex, bool], int]:
     """Per-node layer decisions via real message-passing ball gathering.
 
@@ -207,6 +208,9 @@ def message_level_layer_decisions(
     its own ball alone.  Returns ``(decisions, rounds)`` where
     ``rounds`` is the simulator's round count
     (``collect_radius + 1``, one final round to detect quiescence).
+    ``executor`` passes through to :func:`gather_balls`: under the
+    default ``"auto"`` the gather compiles to the whole-round batch
+    kernel when eligible, with identical decisions and round counts.
     """
     balls, rounds = gather_balls(
         current_graph,
@@ -214,6 +218,7 @@ def message_level_layer_decisions(
         sealed=sealed,
         scheduler=scheduler,
         program=program,
+        executor=executor,
     )
     decisions = {
         v: local_layer_decision_from_ball(ball, params)

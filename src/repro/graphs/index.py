@@ -45,7 +45,8 @@ class GraphIndex:
     """An immutable CSR + bitset snapshot of a graph (see module docstring)."""
 
     __slots__ = (
-        "verts", "vid", "indptr", "indices", "n", "m", "_nbr_bits", "_edge_labels",
+        "verts", "vid", "indptr", "indices", "n", "m", "_nbr_bits",
+        "_edge_labels", "_degrees",
     )
 
     def __init__(self, graph: Graph):
@@ -66,6 +67,7 @@ class GraphIndex:
         self.m = len(indices) // 2
         self._nbr_bits: Optional[List[int]] = None
         self._edge_labels: Optional[Dict[Tuple[int, int], Tuple[Vertex, Vertex]]] = None
+        self._degrees: Optional[List[int]] = None
 
     @property
     def edge_labels(self) -> Dict[Tuple[int, int], Tuple[Vertex, Vertex]]:
@@ -105,6 +107,79 @@ class GraphIndex:
                 bits[i] = b
             self._nbr_bits = bits
         return bits
+
+    @property
+    def degrees(self) -> List[int]:
+        """Per-id degree list, built on first access and cached.
+
+        The whole-round kernels (:mod:`repro.localmodel.executor`) charge
+        a broadcasting frontier ``sum(degrees[i] for i in frontier)``
+        messages per round; one flat list beats ``n`` ``indptr``
+        subtractions per round.
+        """
+        degs = self._degrees
+        if degs is None:
+            indptr = self.indptr
+            degs = [indptr[i + 1] - indptr[i] for i in range(self.n)]
+            self._degrees = degs
+        return degs
+
+    # -- frontier / bitset helpers ---------------------------------------
+    def bfs_frontiers(
+        self, sources: Sequence[int], cutoff: Optional[int] = None
+    ) -> List[List[int]]:
+        """BFS layers from a source set, as sorted id lists per distance.
+
+        ``result[d]`` holds every id at distance exactly ``d`` from the
+        nearest source (``result[0]`` is the sorted source set itself);
+        expansion stops after distance ``cutoff`` when given.  Unreached
+        ids appear in no layer, and an empty source set yields ``[]``.
+        Layers come out sorted because sources are sorted first and each
+        expansion scans the previous layer in order through ascending
+        CSR rows -- the order the whole-round BFS kernel relies on.
+        """
+        if not sources:
+            return []
+        indptr, indices = self.indptr, self.indices
+        seen = bytearray(self.n)
+        frontier = sorted(set(sources))
+        for i in frontier:
+            seen[i] = 1
+        layers = [frontier]
+        depth = 0
+        while frontier and (cutoff is None or depth < cutoff):
+            nxt: List[int] = []
+            for i in frontier:
+                for k in range(indptr[i], indptr[i + 1]):
+                    j = indices[k]
+                    if not seen[j]:
+                        seen[j] = 1
+                        nxt.append(j)
+            if not nxt:
+                break
+            nxt.sort()
+            layers.append(nxt)
+            frontier = nxt
+            depth += 1
+        return layers
+
+    @staticmethod
+    def bits_of(ids: Sequence[int]) -> int:
+        """The big-int bitset with exactly the given id bits set."""
+        bits = 0
+        for i in ids:
+            bits |= 1 << i
+        return bits
+
+    @staticmethod
+    def bits_to_ids(bits: int) -> List[int]:
+        """The ascending id list encoded by a big-int bitset."""
+        out: List[int] = []
+        while bits:
+            low = bits & -bits
+            out.append(low.bit_length() - 1)
+            bits ^= low
+        return out
 
     # -- id-space queries ------------------------------------------------
     def neighbors_of(self, i: int) -> List[int]:

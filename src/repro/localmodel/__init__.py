@@ -37,10 +37,17 @@
 
 from .colorreduction import (
     LINIAL_FIXPOINT,
+    LinialPathKernel,
     LinialPathProgram,
     linial_new_color,
     linial_parameters,
     three_color_path,
+)
+from .executor import (
+    EXECUTORS,
+    BatchExecutor,
+    BatchKernel,
+    KernelIneligible,
 )
 from .faults import (
     MESSAGE_STATUSES,
@@ -51,6 +58,7 @@ from .faults import (
 )
 from .gather import (
     BallGatherProgram,
+    DeltaGatherKernel,
     DeltaGatherProgram,
     KnownBall,
     gather_balls,
@@ -69,6 +77,7 @@ from .network import (
     vertex_key,
 )
 from .programs import (
+    BFSLayerKernel,
     BFSLayerProgram,
     EchoCountProgram,
     LeaderElectionProgram,
@@ -110,16 +119,22 @@ from .rulingset import (
 
 __all__ = [
     "LINIAL_FIXPOINT",
+    "LinialPathKernel",
     "LinialPathProgram",
     "linial_new_color",
     "linial_parameters",
     "three_color_path",
+    "EXECUTORS",
+    "BatchExecutor",
+    "BatchKernel",
+    "KernelIneligible",
     "MESSAGE_STATUSES",
     "CrashSpec",
     "FaultPlan",
     "FaultPlanError",
     "FaultRuntime",
     "BallGatherProgram",
+    "DeltaGatherKernel",
     "DeltaGatherProgram",
     "KnownBall",
     "gather_balls",
@@ -134,6 +149,7 @@ __all__ = [
     "SyncNetwork",
     "TraceSink",
     "vertex_key",
+    "BFSLayerKernel",
     "BFSLayerProgram",
     "EchoCountProgram",
     "LeaderElectionProgram",

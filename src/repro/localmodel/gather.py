@@ -44,6 +44,7 @@ tests and benchmarks.
 from __future__ import annotations
 
 import gc
+from bisect import bisect_left
 from dataclasses import dataclass
 from typing import (
     TYPE_CHECKING,
@@ -59,12 +60,14 @@ from typing import (
 
 from ..graphs.adjacency import Graph, Vertex
 from ..graphs.index import GraphIndex, graph_index
+from .executor import EXECUTORS, BatchExecutor, BatchKernel, KernelIneligible
 from .network import NodeContext, NodeProgram, SyncNetwork, TraceSink
 
 __all__ = [
     "KnownBall",
     "BallGatherProgram",
     "DeltaGatherProgram",
+    "DeltaGatherKernel",
     "gather_balls",
 ]
 
@@ -277,6 +280,181 @@ class DeltaGatherProgram(NodeProgram):
         return outbox
 
 
+class DeltaGatherKernel(BatchKernel):
+    """Whole-round compilation of :class:`DeltaGatherProgram`.
+
+    One :meth:`round` call performs what ``n`` ``step`` calls would:
+    merge every node's inbox deltas, then emit next round's per-edge
+    payloads -- the same set algebra, in the same id space, on the very
+    ``_states``/``_edges`` dicts the program instances own (the kernel
+    *is* their execution, so :meth:`finalize` reads the final knowledge
+    straight back out of them).  What it skips is pure dispatch: the
+    scheduler sort, context construction, ``has_edge`` validation, and
+    inbox-dict churn of :meth:`SyncNetwork.step_round`.
+
+    Counting is identical by construction: a "send" is one non-empty
+    directed payload (round 0 always sends on every edge direction, like
+    the program), deliveries equal sends and are counted in the sending
+    round, and the final round merges without sending -- so
+    :class:`~repro.localmodel.network.RunStats` matches the per-node
+    path field for field.  Only nodes that actually received are
+    visited after round 0, which is where saturated instances (delta
+    gone quiet before ``radius``) win an extra factor.
+    """
+
+    def __init__(self, net: SyncNetwork, index: GraphIndex):
+        """Validate homogeneity and compile knowledge into fact-id sets.
+
+        The compiled representation is a single dense *fact-id* space:
+        the state of vertex ``i`` is fact ``i``, and the ``k``-th edge of
+        :attr:`GraphIndex.edge_labels` (id-sorted order) is fact
+        ``n + k``.  A node's knowledge, a round's fresh set, and every
+        payload are then plain ``set[int]`` objects and the whole step
+        algebra (merge, delta, per-neighbor exclusion) collapses to bulk
+        set operations; state *values* live in one per-vid list and are
+        only consulted at :meth:`finalize`.
+        """
+        super().__init__(net, index)
+        programs = list(net.programs.values())
+        radius = programs[0].radius
+        n = index.n
+        edge_pairs = list(index.edge_labels)
+        fid_of_edge: Dict[Tuple[int, int], int] = {
+            e: n + k for k, e in enumerate(edge_pairs)
+        }
+        self._programs: List[DeltaGatherProgram] = [programs[0]] * n
+        #: per-vid initial state value (the only non-int payload content)
+        self._values: List[Any] = [None] * n
+        #: per-vid accumulated knowledge as a fact-id set
+        self._known: List[Set[int]] = [set()] * n
+        if radius < 0:
+            # the per-node countdown still steps one round before firing;
+            # the compiled form has no such round, so decline
+            raise KernelIneligible("negative radius requires the per-node path")
+        for p in programs:
+            if p.radius != radius:
+                raise KernelIneligible(
+                    "DeltaGatherProgram instances disagree on radius"
+                )
+            if p._index is not index:
+                raise KernelIneligible(
+                    "DeltaGatherProgram instances were built against a "
+                    "different GraphIndex snapshot"
+                )
+            if p.done or len(p._states) != 1:
+                raise KernelIneligible(
+                    "a program instance has already accumulated knowledge"
+                )
+            i = p._me
+            self._programs[i] = p
+            self._values[i] = p._states[i]
+            known = {i}
+            for e in p._edges:
+                known.add(fid_of_edge[e])
+            self._known[i] = known
+        self.radius = radius
+        self._edge_pairs = edge_pairs
+        self._fid_of_edge = fid_of_edge
+        indptr, indices = index.indptr, index.indices
+        self._nbrs: List[List[int]] = [
+            indices[indptr[i]:indptr[i + 1]] for i in range(n)
+        ]
+        #: receiver id -> {sender id: fact-id payload}; doubles as the
+        #: per-node "what did each neighbor deliver" exclusion map
+        self._inbox: Dict[int, Dict[int, Set[int]]] = {}
+        self._round_no = 0
+
+    @property
+    def done(self) -> bool:
+        """All programs terminate together, right after round ``radius``."""
+        return self._round_no > self.radius
+
+    def round(self) -> Tuple[int, int]:
+        """One whole synchronous round of delta forwarding."""
+        t = self._round_no
+        self._round_no = t + 1
+        known_all = self._known
+        nbrs = self._nbrs
+        nxt: Dict[int, Dict[int, Set[int]]] = {}
+        sent = 0
+        if t == 0:
+            if self.radius == 0:
+                return 0, 0
+            # Round 0: the fresh set is a node's initial knowledge (own
+            # state + own edges); the shared edge is mutual knowledge,
+            # everything else goes to every neighbor -- unconditionally,
+            # exactly like the program's round-0 branch.
+            fid_of_edge = self._fid_of_edge
+            for i in range(len(nbrs)):
+                known = known_all[i]
+                for u in nbrs[i]:
+                    shared = fid_of_edge[(i, u) if i < u else (u, i)]
+                    inbox = nxt.get(u)
+                    if inbox is None:
+                        inbox = nxt[u] = {}
+                    inbox[i] = known - {shared}
+                    sent += 1
+            self._inbox = nxt
+            return sent, sent
+        last = t >= self.radius
+        for i, got in self._inbox.items():
+            known = known_all[i]
+            if len(got) == 1:
+                fresh = next(iter(got.values())) - known
+            else:
+                payloads = iter(got.values())
+                fresh = next(payloads) - known
+                for payload in payloads:
+                    fresh |= payload - known
+            if not fresh:
+                continue
+            known |= fresh
+            if last:
+                continue
+            for u in nbrs[i]:
+                held = got.get(u)
+                if held is None:
+                    # nothing to subtract: share the fresh set itself
+                    # (receivers only read payloads, never mutate them)
+                    out = fresh
+                else:
+                    out = fresh - held
+                    if not out:
+                        continue
+                inbox = nxt.get(u)
+                if inbox is None:
+                    inbox = nxt[u] = {}
+                inbox[i] = out
+                sent += 1
+        self._inbox = nxt
+        return sent, sent
+
+    def finalize(self) -> None:
+        """Produce each node's :class:`KnownBall` from its fact-id set."""
+        verts = self.index.verts
+        edge_labels = self.index.edge_labels
+        edge_pairs = self._edge_pairs
+        values = self._values
+        radius = self.radius
+        n = self.index.n
+        for i, p in enumerate(self._programs):
+            # one sort, split at the state/edge boundary: fact ids below
+            # n are states (ascending, as KnownBall's dict order pins),
+            # the rest are edges
+            facts = sorted(self._known[i])
+            cut = bisect_left(facts, n)
+            p.done = True
+            p.output = KnownBall(
+                center=p.node,
+                radius=radius,
+                states={verts[f]: values[f] for f in facts[:cut]},
+                edges={edge_labels[edge_pairs[f - n]] for f in facts[cut:]},
+            )
+
+
+DeltaGatherProgram.batch_kernel = DeltaGatherKernel
+
+
 #: The gather program families :func:`gather_balls` can run.
 GATHER_PROGRAMS = ("delta", "reference")
 
@@ -289,14 +467,16 @@ def _run_gather(
     scheduler: str,
     sinks: Optional[List[TraceSink]],
     faults: Optional["FaultPlan"],
+    executor: str = "auto",
 ) -> Tuple[Dict[Vertex, KnownBall], int]:
-    net = SyncNetwork(
+    net = BatchExecutor(
         graph,
         factory,
         sealed=sealed,
         scheduler=scheduler,
         sinks=sinks,
         faults=faults,
+        mode=executor,
     )
     # The bound is exact: rounds 0..radius inclusive (satellite of the
     # termination contract -- slack here would mask off-by-ones in the
@@ -327,6 +507,7 @@ def gather_balls(
     program: str = "delta",
     sinks: Optional[List[TraceSink]] = None,
     faults: Optional["FaultPlan"] = None,
+    executor: str = "auto",
 ) -> Tuple[Dict[Vertex, KnownBall], int]:
     """Run the gathering protocol; returns per-node balls and rounds used.
 
@@ -335,12 +516,21 @@ def gather_balls(
     full-flood :class:`BallGatherProgram`; their outputs and round counts
     are identical (the equivalence suite asserts the full matrix).
     ``sinks`` and ``faults`` pass through to the network unchanged.
+    ``executor`` picks the dispatch (:data:`~repro.localmodel.executor.EXECUTORS`):
+    under the default ``"auto"``, delta runs on
+    :class:`~repro.localmodel.executor.DeltaGatherKernel` whenever the
+    run is batch-eligible (no faults, no sinks) and on the per-node
+    scheduler otherwise -- outputs and stats are identical either way.
     """
     if radius < 0:
         raise ValueError("radius must be non-negative")
     if program not in GATHER_PROGRAMS:
         raise ValueError(
             f"unknown gather program {program!r}; expected one of {GATHER_PROGRAMS}"
+        )
+    if executor not in EXECUTORS:
+        raise ValueError(
+            f"unknown executor {executor!r}; expected one of {EXECUTORS}"
         )
     state_of = states or {}
     if program == "reference":
@@ -354,7 +544,9 @@ def gather_balls(
         def factory(v: Vertex, nbrs: List[Vertex]) -> NodeProgram:
             return DeltaGatherProgram(v, nbrs, radius, state_of.get(v), index)
 
-    return _run_gather(graph, radius, factory, sealed, scheduler, sinks, faults)
+    return _run_gather(
+        graph, radius, factory, sealed, scheduler, sinks, faults, executor
+    )
 
 
 def _reference_gather(

@@ -94,6 +94,7 @@ def message_level_mis_decisions(
     sealed: bool = False,
     scheduler: str = "active",
     program: str = "delta",
+    executor: str = "auto",
 ) -> Tuple[Dict[Vertex, bool], int]:
     """Per-node MIS-peeling layer decisions via real ball gathering.
 
@@ -104,7 +105,8 @@ def message_level_mis_decisions(
     its own ball.  Matches the centralized peeling's non-final
     iterations (the final iteration's independence-number rule needs
     kappa-aware coordination and is accounted, not simulated).
-    Returns ``(decisions, rounds)``.
+    Returns ``(decisions, rounds)``; ``executor`` passes through to the
+    gather (``"auto"`` compiles to the batch kernel when eligible).
     """
     return message_level_layer_decisions(
         current_graph,
@@ -112,6 +114,7 @@ def message_level_mis_decisions(
         sealed=sealed,
         scheduler=scheduler,
         program=program,
+        executor=executor,
     )
 
 

@@ -11,6 +11,13 @@ A *cell* is the atomic unit of work: one (experiment, family, n, seed,
 * **JSON-valued** — payloads survive the disk cache round-trip exactly
   (binary64 floats round-trip through ``json`` bit-for-bit).
 
+The one sanctioned exception to purity is the ``graph_cache_hit``
+diagnostic: the large-instance cells share a per-worker graph cache
+(:func:`_cached_graph`), and each payload records whether its instance
+was rebuilt or reused.  The flag reaches the per-cell JSONL log only —
+no render consumes it — so reports stay byte-identical across ``--jobs``
+counts and cache states.
+
 The reduction from cell payloads back to EXPERIMENTS.md rows lives in
 :mod:`repro.runner.registry`; it replicates the fold order of
 :mod:`repro.analysis.experiments` so tables are byte-identical to the
@@ -20,7 +27,7 @@ serial path.
 from __future__ import annotations
 
 import math
-from typing import Any, Dict, List
+from typing import Any, Callable, Dict, List, Tuple
 
 from ..analysis.experiments import GRAPH_FAMILIES
 from ..baselines import luby_mis, sequential_greedy_coloring
@@ -60,6 +67,7 @@ __all__ = [
     "figure_cell",
     "x1_cell",
     "k1_cell",
+    "k2_cell",
     "c1_cell",
     "d1_cell",
     "f7_cell",
@@ -68,6 +76,48 @@ __all__ = [
 
 def _family_graph(family: str, n: int, seed: int):
     return GRAPH_FAMILIES[family](n, seed)
+
+
+#: builders for the per-worker graph cache; every family here is fully
+#: determined by ``(n, seed)``, which is what makes the cache sound
+_CACHE_BUILDERS: Dict[str, Callable[[int, int], Any]] = {
+    "path": lambda n, seed: path_graph(n),
+    "interval": lambda n, seed: unit_interval_chain(n, seed=seed),
+    "chordal": lambda n, seed: random_chordal_graph(n, seed=seed),
+    "ktree3": lambda n, seed: random_k_tree(n, 3, seed=seed),
+}
+
+#: per-worker instance cache: (family, n, seed) -> Graph.  Pool workers
+#: are reused across cells, so sweeps that revisit an instance (the D1
+#: pipelines, K2's executor comparison) skip the generator — and the
+#: CSR/bitset :class:`~repro.graphs.index.GraphIndex` cached on the
+#: graph object (keyed by ``Graph.version``) comes along for free.
+_GRAPH_CACHE: Dict[Tuple[str, int, int], Any] = {}
+
+#: large instances are worth whole seconds to rebuild but also megabytes
+#: to keep; a small FIFO bound keeps long sweeps from accreting every
+#: graph they ever touched
+_GRAPH_CACHE_CAP = 8
+
+
+def _cached_graph(family: str, n: int, seed: int) -> Tuple[Any, bool]:
+    """``(graph, cache_hit)`` for one named instance.
+
+    Cells must treat the returned graph as read-only: it is shared with
+    every later cell of the same worker that asks for the same key.
+    """
+    key = (family, n, seed)
+    graph = _GRAPH_CACHE.get(key)
+    if graph is not None:
+        return graph, True
+    builder = _CACHE_BUILDERS.get(family)
+    if builder is None:
+        raise ValueError(f"unknown cached graph family {family!r}")
+    graph = builder(n, seed)
+    while len(_GRAPH_CACHE) >= _GRAPH_CACHE_CAP:
+        _GRAPH_CACHE.pop(next(iter(_GRAPH_CACHE)))
+    _GRAPH_CACHE[key] = graph
+    return graph, False
 
 
 def _sleep_cell(seconds: float) -> Dict[str, Any]:
@@ -165,12 +215,8 @@ def l6_cell(n: int, family: str, seed: int) -> Dict[str, Any]:
     }
 
 
-#: the K1 graph builders: families that scale to n = 10^5
-_K1_FAMILIES = {
-    "ktree3": lambda n, seed: random_k_tree(n, 3, seed=seed),
-    "interval": lambda n, seed: unit_interval_chain(n, seed=seed),
-    "path": lambda n, seed: path_graph(n),
-}
+#: the K1/K2 graph families that scale to n = 10^5 (cache-builder keys)
+_K1_FAMILIES = ("ktree3", "interval", "path")
 
 #: families whose weighted clique-intersection graph stays sparse at
 #: large n; random k-trees have hub vertices in Theta(n) maximal
@@ -189,7 +235,9 @@ def k1_cell(family: str, n: int, seed: int, threshold: int) -> Dict[str, Any]:
     beyond the per-cell timeout on the pre-kernel substrate; wall-clock
     comparisons live in ``BENCH_kernels.json``.
     """
-    g = _K1_FAMILIES[family](n, seed)
+    if family not in _K1_FAMILIES:
+        raise ValueError(f"unknown K1 family {family!r}")
+    g, cache_hit = _cached_graph(family, n, seed)
     cliques = maximal_cliques(g)
     coloring = peo_greedy_coloring(g)
     payload: Dict[str, Any] = {
@@ -201,12 +249,62 @@ def k1_cell(family: str, n: int, seed: int, threshold: int) -> Dict[str, Any]:
         "simplicial": len(simplicial_vertices(g)),
         "layers": None,
         "exhausted": None,
+        "graph_cache_hit": cache_hit,
     }
     if family in _K1_PEEL_FAMILIES:
         peel = peeling_layers(g, threshold)
         payload["layers"] = peel.num_layers()
         payload["exhausted"] = peel.exhausted
     return payload
+
+
+def k2_cell(
+    family: str, n: int, radius: int, executor: str, seed: int, sample: int
+) -> Dict[str, Any]:
+    """K2: one whole-round batch-executor gather at large n.
+
+    Runs the delta gather under the requested executor mode and reports
+    the dispatch the :class:`~repro.localmodel.executor.BatchExecutor`
+    actually took plus the full message accounting — node-vs-batch rows
+    of the same cell must agree on rounds and messages, which is the
+    table-level witness of the executor equivalence contract.  ``sample``
+    evenly spaced balls are checked against the BFS ground truth.
+    Wall-clock comparisons live in ``BENCH_network.json``.
+    """
+    from ..graphs.index import graph_index
+    from ..localmodel import BatchExecutor, DeltaGatherProgram
+
+    g, cache_hit = _cached_graph(family, n, seed)
+    index = graph_index(g)
+    net = BatchExecutor(
+        g,
+        lambda v, nbrs: DeltaGatherProgram(v, nbrs, radius, None, index),
+        mode=executor,
+    )
+    balls = net.run(max_rounds=radius + 1)
+    stats = net.stats
+    verts = sorted(g.vertices())
+    step = max(1, len(verts) // sample)
+    sampled = verts[::step][:sample]
+    agree = sum(
+        1
+        for v in sampled
+        if set(balls[v].states) == set(g.bfs_distances(v, cutoff=radius))
+    )
+    return {
+        "family": family,
+        "n": len(g),
+        "m": g.num_edges(),
+        "radius": radius,
+        "executor": executor,
+        "path": net.executed,
+        "rounds": stats.rounds,
+        "messages": stats.messages_sent,
+        "max_messages_per_round": stats.max_messages_per_round,
+        "sampled": len(sampled),
+        "agree": agree,
+        "graph_cache_hit": cache_hit,
+    }
 
 
 def b1_cell(family: str, n: int, seed: int) -> Dict[str, Any]:
@@ -471,7 +569,14 @@ def _d1_params(pipeline: str):
     raise ValueError(f"unknown D1 pipeline {pipeline!r}")
 
 
-def d1_cell(pipeline: str, family: str, n: int, seed: int, sample: int) -> Dict[str, Any]:
+def d1_cell(
+    pipeline: str,
+    family: str,
+    n: int,
+    seed: int,
+    sample: int,
+    executor: str = "auto",
+) -> Dict[str, Any]:
     """D1: message-level layer decisions at scale via delta gathering.
 
     Runs the real delta-gather program over the whole instance, then has
@@ -480,21 +585,18 @@ def d1_cell(pipeline: str, family: str, n: int, seed: int, sample: int) -> Dict[
     rule on the global graph.  Feasibility is the point — these sizes
     were unreachable under the full flood — and the wall-clock /
     message-volume comparison against the flood lives in
-    ``BENCH_network.json``.
+    ``BENCH_network.json``.  ``executor`` passes through to
+    :func:`~repro.localmodel.gather.gather_balls` (default ``"auto"``:
+    the whole-round batch kernel when eligible, identical outputs).
     """
     from ..coloring import local_layer_decision, local_layer_decision_from_ball
     from ..localmodel import gather_balls
 
-    if family == "path":
-        g = path_graph(n)
-    elif family == "interval":
-        g = unit_interval_chain(n, seed=seed)
-    elif family == "chordal":
-        g = random_chordal_graph(n, seed=seed)
-    else:
+    if family not in ("path", "interval", "chordal"):
         raise ValueError(f"unknown D1 family {family!r}")
+    g, cache_hit = _cached_graph(family, n, seed)
     params = _d1_params(pipeline)
-    balls, rounds = gather_balls(g, params.collect_radius)
+    balls, rounds = gather_balls(g, params.collect_radius, executor=executor)
     verts = sorted(g.vertices())
     step = max(1, len(verts) // sample)
     sampled = verts[::step][:sample]
@@ -514,6 +616,8 @@ def d1_cell(pipeline: str, family: str, n: int, seed: int, sample: int) -> Dict[
         "sampled": len(sampled),
         "agree": agree,
         "joined": joined,
+        "executor": executor,
+        "graph_cache_hit": cache_hit,
     }
 
 

@@ -221,6 +221,7 @@ def _plan_d1(
     chordal_ns=(200, 500),
     sample=64,
     seed=0,
+    executor="auto",
 ):
     # paths scale to n = 2 * 10^4; interval chains have denser balls and
     # are capped where the per-node view reconstruction stays tractable;
@@ -230,7 +231,14 @@ def _plan_d1(
         CellSpec(
             "D1",
             "d1_cell",
-            {"pipeline": p, "family": f, "n": n, "seed": seed, "sample": sample},
+            {
+                "pipeline": p,
+                "family": f,
+                "n": n,
+                "seed": seed,
+                "sample": sample,
+                "executor": executor,
+            },
         )
         for p in pipelines
         for f, ns in (
@@ -257,6 +265,57 @@ def _plan_k1(
         for f in families
         for n in ns
     ]
+
+
+#: the K2 sweep: (family, n, radius) cells run under BOTH executors so
+#: the table itself witnesses the rounds/messages equivalence, and
+#: batch-only cells at sizes where the per-node path is wasteful
+K2_PAIR_CELLS = (("path", 20000, 16), ("interval", 2000, 10))
+K2_LARGE_CELLS = (("path", 100000, 10), ("interval", 10000, 8))
+
+
+def _plan_k2(
+    pairs=K2_PAIR_CELLS,
+    large=K2_LARGE_CELLS,
+    executors=("node", "batch"),
+    sample=32,
+    seed=0,
+):
+    cells = [
+        CellSpec(
+            "K2",
+            "k2_cell",
+            {
+                "family": f,
+                "n": n,
+                "radius": r,
+                "executor": e,
+                "seed": seed,
+                "sample": sample,
+            },
+        )
+        for f, n, r in pairs
+        for e in executors
+    ]
+    # the large cells exist to show whole-round kernel feasibility; they
+    # follow a forced executor only when batch is excluded outright
+    large_executor = "batch" if "batch" in executors else executors[-1]
+    cells += [
+        CellSpec(
+            "K2",
+            "k2_cell",
+            {
+                "family": f,
+                "n": n,
+                "radius": r,
+                "executor": large_executor,
+                "seed": seed,
+                "sample": sample,
+            },
+        )
+        for f, n, r in large
+    ]
+    return cells
 
 
 # --------------------------------------------------------------------------
@@ -598,6 +657,38 @@ def _render_k1(specs, values):
     )
 
 
+def _render_k2(specs, values):
+    rows = [
+        (
+            s.params["family"],
+            v["n"],
+            v["m"],
+            s.params["radius"],
+            s.params["executor"],
+            v["path"],
+            v["rounds"],
+            v["messages"],
+            f"{v['agree']}/{v['sampled']}",
+        )
+        for s, v in zip(specs, values)
+        if v is not None
+    ]
+    table = format_table(
+        [
+            "family", "n", "m", "radius", "executor", "path",
+            "rounds", "messages", "ball oracle",
+        ],
+        rows,
+    )
+    return (
+        "(whole-round batch kernels vs per-node dispatch; `path` is what"
+        " BatchExecutor actually ran, node/batch rows of the same cell"
+        " must agree on rounds and messages, and `ball oracle` counts"
+        " sampled balls equal to the BFS ground truth; wall-clock in"
+        " BENCH_network.json)\n\n" + table
+    )
+
+
 # --------------------------------------------------------------------------
 # the registry itself (order = report order; legacy ids first)
 
@@ -724,6 +815,20 @@ REGISTRY: Dict[str, Experiment] = {
                 "interval_ns": (500, 2000),
                 "chordal_ns": (200, 500),
                 "sample": 64,
+                "executor": "auto",
+            },
+        ),
+        Experiment(
+            "K2",
+            "Batch executor: whole-round kernel gathering at large n",
+            ("repro.localmodel", "repro.graphs"),
+            _plan_k2,
+            _render_k2,
+            {
+                "pairs": K2_PAIR_CELLS,
+                "large": K2_LARGE_CELLS,
+                "executors": ("node", "batch"),
+                "sample": 32,
             },
         ),
         Experiment(

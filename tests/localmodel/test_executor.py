@@ -1,0 +1,405 @@
+"""BatchExecutor: whole-round kernels must be observationally per-node.
+
+The equivalence contract is strict and threefold, for every kernel-backed
+program family (delta gather, BFS layers, Linial path coloring):
+
+* byte-identical outputs vs the per-node scheduler,
+* identical ``RunStats`` (rounds, messages sent/delivered, per-round max),
+* across the full scheduler{active,dense} x sealed{True,False} matrix,
+
+plus the refusal rules: batch mode raises ``ValueError`` on a non-empty
+fault plan (auto falls back to the per-node path instead), and the
+``max_rounds`` budget stays exact on the kernel path.  Hypothesis drives
+the matrix over generated path / interval / chordal families.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import (
+    Graph,
+    path_graph,
+    random_chordal_graph,
+    star_graph,
+    unit_interval_chain,
+)
+from repro.graphs.index import graph_index
+from repro.localmodel import (
+    EXECUTORS,
+    BatchExecutor,
+    FaultPlan,
+    KernelIneligible,
+    MetricsSink,
+    NodeProgram,
+    gather_balls,
+)
+from repro.localmodel.colorreduction import LinialPathProgram
+from repro.localmodel.gather import DeltaGatherProgram, _reference_gather
+from repro.localmodel.programs import BFSLayerProgram, bfs_layers
+
+SCHEDULERS = ("active", "dense")
+
+
+def stats_tuple(executor):
+    s = executor.stats
+    return (
+        s.rounds,
+        s.messages_sent,
+        s.messages_delivered,
+        s.max_messages_per_round,
+    )
+
+
+def run_both(graph, factory, max_rounds=10_000, **kwargs):
+    """Run node and batch paths; assert outputs+stats agree; return them."""
+    node = BatchExecutor(graph, factory, mode="node", **kwargs)
+    out_node = node.run(max_rounds=max_rounds)
+    batch = BatchExecutor(graph, factory, mode="batch", **kwargs)
+    out_batch = batch.run(max_rounds=max_rounds)
+    assert node.executed == "node"
+    assert batch.executed == "batch"
+    assert out_node == out_batch
+    assert stats_tuple(node) == stats_tuple(batch)
+    return out_node, stats_tuple(node)
+
+
+def graphs_under_test():
+    return [
+        ("path9", path_graph(9)),
+        ("star5", star_graph(5)),
+        ("chordal", random_chordal_graph(20, seed=5)),
+        ("interval", unit_interval_chain(18, seed=2)),
+        ("two-components", _two_components()),
+        ("isolated", _with_isolated_vertex()),
+        ("single", Graph(vertices=[3], edges=[])),
+        ("empty", Graph(vertices=[], edges=[])),
+    ]
+
+
+def _two_components():
+    return Graph(
+        vertices=range(10),
+        edges=[(0, 1), (1, 2), (2, 3), (3, 4), (5, 6), (6, 7), (7, 8), (8, 9)],
+    )
+
+
+def _with_isolated_vertex():
+    return Graph(vertices=range(7), edges=[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)])
+
+
+def gather_factory(graph, radius, states=None):
+    index = graph_index(graph)
+    state_of = states or {}
+
+    def factory(v, nbrs):
+        return DeltaGatherProgram(v, nbrs, radius, state_of.get(v), index)
+
+    return factory
+
+
+# ---------------------------------------------------------------------------
+# equivalence matrix, per kernel
+# ---------------------------------------------------------------------------
+class TestDeltaGatherKernelEquivalence:
+    @pytest.mark.parametrize("name,graph", graphs_under_test())
+    @pytest.mark.parametrize("radius", [0, 1, 3])
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    @pytest.mark.parametrize("sealed", [False, True])
+    def test_matrix(self, name, graph, radius, scheduler, sealed):
+        states = {v: ("s", v) for v in graph.vertices()}
+        factory = gather_factory(graph, radius, states)
+        outputs, _ = run_both(
+            graph,
+            factory,
+            max_rounds=radius + 1,
+            sealed=sealed,
+            scheduler=scheduler,
+        )
+        if len(graph):
+            reference, _ = _reference_gather(graph, radius, states)
+            assert outputs == reference
+
+    def test_gather_balls_executor_parameter(self):
+        g = random_chordal_graph(25, seed=9)
+        balls_node, rounds_node = gather_balls(g, 3, executor="node")
+        balls_batch, rounds_batch = gather_balls(g, 3, executor="batch")
+        balls_auto, rounds_auto = gather_balls(g, 3, executor="auto")
+        assert balls_node == balls_batch == balls_auto
+        assert rounds_node == rounds_batch == rounds_auto
+
+    def test_gather_balls_rejects_unknown_executor(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            gather_balls(path_graph(4), 1, executor="warp")
+
+    def test_reference_program_has_no_kernel_and_falls_back(self):
+        g = path_graph(6)
+        balls, rounds = gather_balls(g, 2, program="reference", executor="auto")
+        assert rounds == 3
+        with pytest.raises(ValueError, match="declares no batch kernel"):
+            gather_balls(g, 2, program="reference", executor="batch")
+
+
+class TestBFSLayerKernelEquivalence:
+    @pytest.mark.parametrize("name,graph", graphs_under_test())
+    @pytest.mark.parametrize("budget", [0, 1, 4, 12])
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    @pytest.mark.parametrize("sealed", [False, True])
+    def test_matrix(self, name, graph, budget, scheduler, sealed):
+        verts = graph.vertices()
+        if not verts:
+            return
+        root = verts[0]
+        run_both(
+            graph,
+            lambda v, nbrs: BFSLayerProgram(v, nbrs, root, budget),
+            max_rounds=budget + 2,
+            sealed=sealed,
+            scheduler=scheduler,
+        )
+
+    def test_bfs_layers_executor_parameter(self):
+        g = random_chordal_graph(20, seed=3)
+        root = g.vertices()[0]
+        assert bfs_layers(g, root, executor="batch") == bfs_layers(
+            g, root, executor="node"
+        )
+
+    def test_bfs_layers_rejects_unknown_executor(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            bfs_layers(path_graph(4), 0, executor="warp")
+
+    def test_multi_source_instances_compile(self):
+        # two programs constructed with distance 0: a legitimate
+        # multi-source flood, which the frontier kernel handles directly
+        g = path_graph(11)
+        roots = {0, 10}
+        run_both(
+            g,
+            lambda v, nbrs: BFSLayerProgram(v, nbrs, v if v in roots else -1, 6),
+            max_rounds=8,
+        )
+
+    def test_rootless_network_compiles(self):
+        # no program holds distance 0: nobody ever announces
+        g = path_graph(5)
+        outputs, stats = run_both(
+            g,
+            lambda v, nbrs: BFSLayerProgram(v, nbrs, -1, 3),
+            max_rounds=5,
+        )
+        assert all(d is None for d in outputs.values())
+        assert stats[1] == 0  # no messages at all
+
+    def test_negative_budget_falls_back_to_node_path(self):
+        g = path_graph(4)
+        ex = BatchExecutor(
+            g, lambda v, nbrs: BFSLayerProgram(v, nbrs, 0, -1), mode="auto"
+        )
+        ex.run(max_rounds=1)
+        assert ex.executed == "node"
+
+
+class TestLinialPathKernelEquivalence:
+    @pytest.mark.parametrize("n", [1, 2, 3, 8, 33])
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    @pytest.mark.parametrize("sealed", [False, True])
+    def test_matrix(self, n, scheduler, sealed):
+        ids = [3 * i + 1 for i in range(n)]
+        g = Graph(vertices=ids, edges=[(ids[i], ids[i + 1]) for i in range(n - 1)])
+        id_bound = max(ids) + 1
+        outputs, _ = run_both(
+            g,
+            lambda v, nbrs: LinialPathProgram(v, nbrs, id_bound),
+            sealed=sealed,
+            scheduler=scheduler,
+        )
+        for u, v in g.edges():
+            assert outputs[u] != outputs[v]
+        assert set(outputs.values()) <= {1, 2, 3}
+
+    def test_mismatched_id_bounds_fall_back(self):
+        # bounds far enough apart that the reduction schedules differ;
+        # nearby bounds can legitimately share a schedule and compile
+        g = path_graph(6)
+        ex = BatchExecutor(
+            g,
+            lambda v, nbrs: LinialPathProgram(v, nbrs, 30 if v % 2 else 5000),
+            mode="auto",
+        )
+        ex.run()
+        assert ex.executed == "node"
+
+
+# ---------------------------------------------------------------------------
+# hypothesis sweep over generated families
+# ---------------------------------------------------------------------------
+class TestGeneratedFamilies:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        family=st.sampled_from(["path", "interval", "chordal"]),
+        n=st.integers(1, 28),
+        seed=st.integers(0, 1_000),
+        radius=st.integers(0, 4),
+        scheduler=st.sampled_from(SCHEDULERS),
+        sealed=st.booleans(),
+    )
+    def test_gather_equivalence(self, family, n, seed, radius, scheduler, sealed):
+        graph = _generate(family, n, seed)
+        states = {v: v for v in graph.vertices()}
+        run_both(
+            graph,
+            gather_factory(graph, radius, states),
+            max_rounds=radius + 1,
+            sealed=sealed,
+            scheduler=scheduler,
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        family=st.sampled_from(["path", "interval", "chordal"]),
+        n=st.integers(1, 28),
+        seed=st.integers(0, 1_000),
+        budget=st.integers(0, 8),
+        scheduler=st.sampled_from(SCHEDULERS),
+        sealed=st.booleans(),
+    )
+    def test_bfs_equivalence(self, family, n, seed, budget, scheduler, sealed):
+        graph = _generate(family, n, seed)
+        root = graph.vertices()[0]
+        run_both(
+            graph,
+            lambda v, nbrs: BFSLayerProgram(v, nbrs, root, budget),
+            max_rounds=budget + 2,
+            sealed=sealed,
+            scheduler=scheduler,
+        )
+
+
+def _generate(family, n, seed):
+    if family == "path":
+        return path_graph(n)
+    if family == "interval":
+        return unit_interval_chain(n, seed=seed)
+    return random_chordal_graph(n, seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# edge cases and refusal rules
+# ---------------------------------------------------------------------------
+class TestEdgeCases:
+    def test_empty_graph_completes_in_zero_rounds(self):
+        g = Graph(vertices=[], edges=[])
+        ex = BatchExecutor(g, gather_factory(g, 2), mode="batch")
+        assert ex.run(max_rounds=0) == {}
+        assert ex.executed == "batch"
+        assert ex.stats.rounds == 0
+
+    def test_single_vertex(self):
+        g = Graph(vertices=["v"], edges=[])
+        outputs, stats = run_both(g, gather_factory(g, 3), max_rounds=4)
+        assert outputs["v"].states == {"v": None}
+        assert stats[1] == 0
+
+    def test_radius_zero(self):
+        g = path_graph(5)
+        outputs, stats = run_both(g, gather_factory(g, 0), max_rounds=1)
+        assert stats == (1, 0, 0, 0)
+        assert outputs[2].states.keys() == {2}
+
+    def test_max_rounds_exhaustion_mid_kernel(self):
+        g = path_graph(8)
+        ex = BatchExecutor(g, gather_factory(g, 5), mode="batch")
+        with pytest.raises(RuntimeError, match="did not terminate within 3"):
+            ex.run(max_rounds=3)
+
+    def test_max_rounds_budget_is_exact(self):
+        g = path_graph(8)
+        ex = BatchExecutor(g, gather_factory(g, 5), mode="batch")
+        ex.run(max_rounds=6)  # exactly radius + 1: must succeed
+        assert ex.stats.rounds == 6
+
+    def test_batch_refuses_nonempty_fault_plan(self):
+        g = path_graph(6)
+        plan = FaultPlan(drop=0.2, seed=7)
+        ex = BatchExecutor(g, gather_factory(g, 2), faults=plan, mode="batch")
+        with pytest.raises(ValueError, match="fault plan is non-empty"):
+            ex.run()
+
+    def test_auto_routes_fault_runs_to_node_path(self):
+        g = path_graph(6)
+        plan = FaultPlan(duplicate=0.4, seed=13)
+        ex = BatchExecutor(g, gather_factory(g, 2), faults=plan, mode="auto")
+        ex.run(max_rounds=3)
+        assert ex.executed == "node"
+
+    def test_empty_fault_plan_does_not_block_batch(self):
+        g = path_graph(6)
+        ex = BatchExecutor(g, gather_factory(g, 2), faults=FaultPlan(), mode="batch")
+        ex.run(max_rounds=3)
+        assert ex.executed == "batch"
+
+    def test_batch_refuses_trace_sinks(self):
+        g = path_graph(6)
+        ex = BatchExecutor(
+            g, gather_factory(g, 2), sinks=[MetricsSink()], mode="batch"
+        )
+        with pytest.raises(ValueError, match="trace sinks"):
+            ex.run()
+
+    def test_batch_refuses_inbox_order(self):
+        g = path_graph(6)
+        ex = BatchExecutor(g, gather_factory(g, 2), inbox_order=3, mode="batch")
+        with pytest.raises(ValueError, match="inbox_order"):
+            ex.run()
+
+    def test_batch_refuses_kernel_less_programs(self):
+        g = path_graph(4)
+        ex = BatchExecutor(
+            g, lambda v, nbrs: _KernelLessProgram(v, nbrs), mode="batch"
+        )
+        with pytest.raises(ValueError, match="declares no batch kernel"):
+            ex.run()
+
+    def test_auto_falls_back_for_kernel_less_programs(self):
+        g = path_graph(4)
+        ex = BatchExecutor(
+            g, lambda v, nbrs: _KernelLessProgram(v, nbrs), mode="auto"
+        )
+        ex.run(max_rounds=2)
+        assert ex.executed == "node"
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor mode"):
+            BatchExecutor(path_graph(3), gather_factory(path_graph(3), 1), mode="warp")
+
+    def test_plan_reports_path_and_blockers(self):
+        g = path_graph(5)
+        ex = BatchExecutor(g, gather_factory(g, 1), mode="auto")
+        path, blockers = ex.plan()
+        assert path == "batch" and blockers == []
+        ex2 = BatchExecutor(
+            g, gather_factory(g, 1), faults=FaultPlan(drop=0.5, seed=1), mode="auto"
+        )
+        path2, blockers2 = ex2.plan()
+        assert path2 == "node" and blockers2
+
+    def test_mode_node_never_consults_kernels(self):
+        g = path_graph(5)
+        ex = BatchExecutor(g, gather_factory(g, 1), mode="node")
+        assert ex.plan() == ("node", [])
+        ex.run(max_rounds=2)
+        assert ex.executed == "node"
+
+    def test_executors_tuple(self):
+        assert EXECUTORS == ("node", "batch", "auto")
+
+
+class _KernelLessProgram(NodeProgram):
+    """A trivial program with no batch kernel (fallback-path probe)."""
+
+    always_active = True
+
+    def step(self, ctx):
+        self.done = True
+        self.output = "ok"
+        return {}

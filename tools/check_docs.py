@@ -31,7 +31,11 @@ instructions can never silently rot:
   ``repro faults``, ``BENCH_faults.json``);
 * ``docs/gather.md`` must exist and document the ball-gathering surface
   (``KnownBall``, the delta/reference program pair, the counting
-  contract's status sets, ``bench_network`` / ``BENCH_network.json``).
+  contract's status sets, ``bench_network`` / ``BENCH_network.json``);
+* ``docs/executor.md`` must exist and document the whole-round batch
+  executor (``BatchExecutor``, ``BatchKernel``, ``KernelIneligible``,
+  the three stock kernels, the mode set, the eligibility blockers, the
+  ``--executor`` CLI knob).
 
 Usage::
 
@@ -298,6 +302,33 @@ def check(root: Path) -> List[str]:
                 problems.append(
                     f"docs/index.md: CLI subcommand {command!r} is never "
                     "mentioned"
+                )
+
+    executor_doc = root / "docs" / "executor.md"
+    if not executor_doc.is_file():
+        problems.append("docs/executor.md: file missing")
+    else:
+        text = executor_doc.read_text()
+        for term in (
+            "BatchExecutor",
+            "BatchKernel",
+            "KernelIneligible",
+            "DeltaGatherKernel",
+            "BFSLayerKernel",
+            "LinialPathKernel",
+            "batch_kernel",
+            "EXECUTORS",
+            "FaultPlan",
+            "--executor",
+            "--profile",
+            "RunStats",
+            "bench_network",
+            "BENCH_network.json",
+        ):
+            if term not in text:
+                problems.append(
+                    f"docs/executor.md: {term!r} is never mentioned (the "
+                    "batch-executor contract must stay documented)"
                 )
 
     kernels_doc = root / "docs" / "kernels.md"
