@@ -18,8 +18,12 @@ Commands:
   attaches a fault plan (grammar in docs/faults.md); ``--executor
   batch|auto`` compiles the run to whole-round kernels (docs/executor.md)
 * ``faults``           -- fault-injection front-end: a single run under a
-  ``--plan`` with validity monitoring, or ``--sweep`` to classify every
+  ``--plan`` with validity monitoring (``--stock`` replays a plan on a
+  program's generated sweep graph), or ``--sweep`` to classify every
   stock program as self-healing / degraded-but-valid / unsafe
+* ``chaos``            -- chaos soak: N seeded randomized fault plans
+  (channel + state corruption) against the stock suite, every failure
+  delta-debugged to a minimal deterministic repro spec (docs/stabilize.md)
 
 ``GRAPH`` is an edge-list file (see :mod:`repro.graphs.io`); ``-`` reads
 stdin.  Non-chordal inputs are rejected unless ``--triangulate`` is given,
@@ -200,6 +204,37 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--timeline", action="store_true",
                         help="print the per-round timeline of a single run")
     faults.add_argument("--max-rounds", type=int, default=10_000)
+    faults.add_argument("--stock", action="store_true",
+                        help="run --program on its stock sweep graph instead "
+                        "of a GRAPH file (replays 'repro chaos' repro specs)")
+    faults.add_argument("--recovery", choices=("intact", "restart", "checkpoint"),
+                        default="intact",
+                        help="crash-recover state policy (default: intact; "
+                        "see docs/faults.md)")
+    faults.add_argument("--checkpoint-every", type=int, default=None,
+                        metavar="N",
+                        help="checkpoint node state every N rounds (required "
+                        "for --recovery checkpoint)")
+
+    chaos = sub.add_parser(
+        "chaos", help="chaos soak: fuzz randomized fault plans, minimize failures"
+    )
+    chaos.add_argument("--trials", type=int, default=50,
+                       help="seeded fuzz trials across the stock suite "
+                       "(default: 50)")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="master seed; the whole soak replays bit-for-bit")
+    chaos.add_argument("--programs", default=None, metavar="P1,P2,...",
+                       help="restrict the suite to these stock programs")
+    chaos.add_argument("--quick", action="store_true",
+                       help="three-program quick suite (the CI smoke subset)")
+    chaos.add_argument("--no-minimize", action="store_true",
+                       help="skip delta-debugging the failing plans")
+    chaos.add_argument("--check", action="store_true",
+                       help="exit 1 unless every failure minimized to a spec "
+                       "that reproduces on replay")
+    chaos.add_argument("--format", choices=("text", "json"), default="text")
+    chaos.add_argument("--max-rounds", type=int, default=4_000)
 
     lint = sub.add_parser(
         "lint", help="check NodeProgram classes for LOCAL-model conformance"
@@ -581,29 +616,58 @@ def _cmd_faults(args, out) -> int:
 
     if args.sweep:
         return _cmd_faults_sweep(args, out)
-    if not args.graph:
-        raise SystemExit("repro faults: provide a GRAPH file or use --sweep")
     try:
         plan = FaultPlan.parse(args.plan)
     except FaultPlanError as exc:
         raise SystemExit(f"bad --plan spec: {exc}")
 
-    graph = _read_graph(args.graph)
-    if len(graph) == 0:
-        print("graph is empty; nothing to run", file=out)
-        return 0
-    factory, describe = _trace_factory(args, graph)
+    if args.stock:
+        # the generated sweep graph + seeded factory: the environment
+        # every `repro chaos` repro spec refers to
+        entry = next(
+            (e for e in _faults_suite() if e[0] == args.program), None
+        )
+        if entry is None:
+            raise SystemExit(
+                f"no stock suite entry for --program {args.program}"
+            )
+        _, graph, factory, validator = entry
+
+        def describe(outputs):
+            committed = sum(1 for v in outputs.values() if v is not None)
+            return f"committed outputs: {committed}/{len(graph)}"
+    else:
+        if not args.graph:
+            raise SystemExit(
+                "repro faults: provide a GRAPH file or use --stock / --sweep"
+            )
+        graph = _read_graph(args.graph)
+        if len(graph) == 0:
+            print("graph is empty; nothing to run", file=out)
+            return 0
+        factory, describe = _trace_factory(args, graph)
+        kind = FAULT_VALIDATORS[args.program]
+        root = args.root
+        if root is None:
+            root = min(graph.vertices(), key=vertex_key)
+        validator = stock_validator(
+            kind, graph, root=root if kind == "bfs" else None
+        )
     if args.retries:
         factory = with_retries(factory)
 
-    kind = FAULT_VALIDATORS[args.program]
-    root = args.root
-    if root is None:
-        root = min(graph.vertices(), key=vertex_key)
-    validator = stock_validator(kind, graph, root=root if kind == "bfs" else None)
-
     metrics = MetricsSink()
-    traced = TracedNetwork(graph, factory, sinks=[metrics], faults=plan)
+    try:
+        traced = TracedNetwork(
+            graph,
+            factory,
+            sinks=[metrics],
+            faults=plan,
+            recovery=args.recovery,
+            checkpoint_every=args.checkpoint_every,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
     monitor = ValidityMonitor(traced.network, validator)
     traced.network.add_sink(monitor)
 
@@ -640,19 +704,123 @@ def _cmd_faults(args, out) -> int:
         print(f"run did not complete: {error}", file=out)
     elif outputs is not None:
         print(describe(outputs), file=out)
-    if monitor.first_violation_round is None:
+    # validate the *final* outputs too: a corruption landing after the
+    # last monitored round (e.g. on a quiesced network) is invisible to
+    # the per-round monitor but must still fail the replay
+    final = {v: p.output for v, p in traced.network.programs.items()}
+    final_problems = validator(graph, final)
+    if monitor.first_violation_round is None and not final_problems:
         print("output validity: OK (no round ever violated the invariant)",
               file=out)
-    else:
+    elif monitor.first_violation_round is not None:
         _, problems = monitor.violations[-1]
         print(
             f"output validity: VIOLATED from round "
             f"{monitor.first_violation_round}: {problems[0]}",
             file=out,
         )
+    else:
+        print(
+            f"output validity: VIOLATED in the final outputs: "
+            f"{final_problems[0]}",
+            file=out,
+        )
     if args.timeline:
         print(traced.timeline(), file=out)
-    return 0 if monitor.first_violation_round is None else 1
+    return 0 if monitor.first_violation_round is None and not final_problems else 1
+
+
+#: the CI smoke subset for ``repro chaos --quick``: one representative per
+#: output invariant (distances, coloring, independence)
+CHAOS_QUICK_PROGRAMS = ("bfs", "coloring", "luby")
+
+
+def _cmd_chaos(args, out) -> int:
+    """``repro chaos``: the seeded fuzz soak with failure minimization."""
+    from .analysis.tables import format_table
+    from .localmodel.chaos import chaos_soak
+
+    suite = _faults_suite()
+    if args.quick:
+        suite = [e for e in suite if e[0] in CHAOS_QUICK_PROGRAMS]
+    if args.programs:
+        wanted = {tok for tok in args.programs.split(",") if tok}
+        unknown = wanted - {e[0] for e in suite}
+        if unknown:
+            raise SystemExit(
+                f"unknown chaos programs: {', '.join(sorted(unknown))} "
+                f"(have: {', '.join(e[0] for e in suite)})"
+            )
+        suite = [e for e in suite if e[0] in wanted]
+    if args.trials < 1:
+        raise SystemExit("repro chaos: --trials must be >= 1")
+
+    report = chaos_soak(
+        suite,
+        trials=args.trials,
+        seed=args.seed,
+        max_rounds=args.max_rounds,
+        minimize=not args.no_minimize,
+    )
+    summary = report.summary()
+    failures = report.failures()
+    unreproduced = [
+        t for t in failures if not args.no_minimize and not t.reproduces
+    ]
+
+    if args.format == "json":
+        payload = {
+            "summary": summary,
+            "executors": report.executors,
+            "trials": [t.as_dict() for t in report.trials],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True), file=out)
+    else:
+        print(
+            f"chaos soak: {summary['trials']} trials over "
+            f"{len(suite)} programs (seed {args.seed})",
+            file=out,
+        )
+        rows = []
+        for name, _graph, _factory, _validator in suite:
+            info = report.executors.get(name, {})
+            rows.append((
+                name,
+                sum(1 for t in report.trials if t.program == name),
+                summary["by_program"].get(name, 0),
+                info.get("executed", "?"),
+            ))
+        print(
+            format_table(["program", "trials", "failures", "executor"], rows),
+            file=out,
+        )
+        for t in failures:
+            print(f"{t.program} trial {t.trial}: {t.kind}", file=out)
+            detail = t.problems[0] if t.problems else (t.error or "")
+            if detail:
+                print(f"  {detail}", file=out)
+            print(f"  plan: {t.plan}", file=out)
+            if t.minimized is not None:
+                status = "reproduces" if t.reproduces else "DOES NOT reproduce"
+                print(f"  minimized ({status}): {t.minimized}", file=out)
+                print(
+                    f"  replay: repro faults --stock --program {t.program} "
+                    f"--plan '{t.minimized}'",
+                    file=out,
+                )
+        print(
+            f"failures: {summary['failures']}  minimized: "
+            f"{summary['minimized']}  reproduced: {summary['reproduced']}",
+            file=out,
+        )
+    if args.check and unreproduced:
+        print(
+            f"chaos --check: {len(unreproduced)} failure(s) lack a "
+            "reproducing minimized spec",
+            file=out,
+        )
+        return 1
+    return 0
 
 
 def _cmd_run(args, out) -> int:
@@ -855,6 +1023,9 @@ def main(argv: Optional[list] = None, out=None) -> int:
 
     if args.command == "faults":
         return _cmd_faults(args, out)
+
+    if args.command == "chaos":
+        return _cmd_chaos(args, out)
 
     if args.command == "lint":
         from .lint.cli import main as lint_main

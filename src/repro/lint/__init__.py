@@ -7,9 +7,9 @@ instances, no hidden nondeterminism, no reading beyond the declared
 neighborhood, no mutation of delivered messages.  This package checks
 that contract statically:
 
-* :mod:`repro.lint.rules` -- the rule set L1-L9 and its rationale;
+* :mod:`repro.lint.rules` -- the rule set L1-L10 and its rationale;
 * :mod:`repro.lint.analyzer` -- the AST analysis (NodeProgram subclass
-  closure + per-method visitors, rules L1-L6);
+  closure + per-method visitors, rules L1-L6 and L10);
 * :mod:`repro.lint.dataflow` -- interprocedural message-size abstract
   interpretation (the WORD < MSG < ACC lattice);
 * :mod:`repro.lint.bandwidth` -- bandwidth certificates (``const`` /
@@ -24,7 +24,9 @@ mode (``sealed=True``) enforces L4/L5 at runtime, the
 :class:`~repro.localmodel.meter.MessageMeter` sink measures what L7/L8
 bound statically, and the shadow-execution checker
 (:func:`~repro.localmodel.shadow.shadow_check`, ``repro lint
---sanitize``) is the dynamic face of L9; ``tests/lint`` cross-validates
+--sanitize``) is the dynamic face of L9, and the repair envelope
+(:class:`~repro.localmodel.stabilize.RepairableProgram`) is the
+sanctioned form of what L10 forbids; ``tests/lint`` cross-validates
 static against dynamic on deliberately cheating programs.
 """
 

@@ -9,7 +9,7 @@ resolves the transitive subclass closure of :class:`NodeProgram` *by name
 across all scanned modules* -- so a program inheriting from an intermediate
 helper class is still analyzed -- and walks each such class with
 :class:`_MethodVisitor`, emitting :class:`~repro.lint.findings.Finding`
-objects for rules L1-L6.  Rule L6 (starvation hazard) is class-shaped
+objects for rules L1-L6 and L10.  Rule L6 (starvation hazard) is class-shaped
 rather than expression-shaped: a subclass with a non-trivial ``step`` must
 either declare ``always_active`` (inherited declarations count), call
 ``self.wake_next_round()``, or unconditionally finish on its first step
@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import ast
 from pathlib import Path
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from .findings import Finding, sort_findings
 from .suppressions import Suppressions, parse_suppressions
@@ -91,6 +91,11 @@ _MUTATOR_METHODS = frozenset(
 _PURIFYING_CALLS = frozenset(
     {"list", "dict", "set", "tuple", "frozenset", "sorted", "deepcopy", "copy"}
 )
+
+#: Fields that carry a node's committed answer (rule L10): the canonical
+#: ``output`` slot plus the problem-specific aliases used by the paper's
+#: coloring / independent-set programs.
+_OUTPUT_FIELDS = frozenset({"output", "color", "in_mis"})
 
 
 def _is_mutable_literal(node: ast.AST) -> bool:
@@ -539,6 +544,104 @@ def _sets_done_unconditionally(step: ast.FunctionDef) -> bool:
     return False
 
 
+def _declares_repairable(node: ast.ClassDef) -> bool:
+    """Does the class body assign ``repairable`` (either value)?"""
+    for stmt in node.body:
+        if isinstance(stmt, ast.Assign):
+            if any(isinstance(t, ast.Name) and t.id == "repairable" for t in stmt.targets):
+                return True
+        elif isinstance(stmt, ast.AnnAssign):
+            if isinstance(stmt.target, ast.Name) and stmt.target.id == "repairable":
+                return True
+    return False
+
+
+def _is_self_field_store(node: ast.AST, fields: FrozenSet[str]) -> Optional[str]:
+    """The field name when ``node`` is a ``self.<field> = ...`` target."""
+    if (
+        isinstance(node, ast.Attribute)
+        and node.attr in fields
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _is_done_attr(node: ast.AST) -> bool:
+    """Is ``node`` a load of ``self.done``?"""
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr == "done"
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    )
+
+
+def _tests_done_true(test: ast.AST) -> bool:
+    """Does ``test`` assert that ``self.done`` is (already) truthy?
+
+    Matches ``self.done``, ``self.done and ...`` (any operand), and
+    ``self.done == True`` / ``self.done is True``.
+    """
+    if _is_done_attr(test):
+        return True
+    if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
+        return any(_tests_done_true(value) for value in test.values)
+    if isinstance(test, ast.Compare) and len(test.ops) == 1:
+        if isinstance(test.ops[0], (ast.Eq, ast.Is)):
+            left, right = test.left, test.comparators[0]
+            literal_true = isinstance(right, ast.Constant) and right.value is True
+            return _is_done_attr(left) and literal_true
+    return False
+
+
+def _tests_done_false(test: ast.AST) -> bool:
+    """Does ``test`` assert that ``self.done`` is falsy (``not self.done``)?"""
+    return (
+        isinstance(test, ast.UnaryOp)
+        and isinstance(test.op, ast.Not)
+        and _is_done_attr(test.operand)
+    )
+
+
+def _halted_output_writes(func: ast.FunctionDef) -> List[Tuple[ast.AST, str]]:
+    """Rule L10 core: output-field stores under a ``self.done`` guard.
+
+    Setting ``self.output`` in the same step invocation that sets
+    ``self.done = True`` is the normal commit idiom -- outputs take
+    effect when ``step`` returns.  What L10 flags is a store to
+    ``self.output`` / ``self.color`` / ``self.in_mis`` inside a branch
+    that is only reached when ``self.done`` is *already* true (the node
+    halted in an earlier round): ``if self.done: self.output = ...`` or
+    the ``else`` arm of ``if not self.done: ...``.  Such a write revises
+    a committed answer, which only the repair protocol may do.
+    """
+    hits: List[Tuple[ast.AST, str]] = []
+
+    def stores_in(body: Sequence[ast.stmt]) -> None:
+        for stmt in body:
+            for sub in ast.walk(stmt):
+                targets: List[ast.AST] = []
+                if isinstance(sub, ast.Assign):
+                    targets = list(sub.targets)
+                elif isinstance(sub, (ast.AnnAssign, ast.AugAssign)):
+                    targets = [sub.target]
+                for target in targets:
+                    field = _is_self_field_store(target, _OUTPUT_FIELDS)
+                    if field is not None:
+                        hits.append((sub, field))
+
+    for node in ast.walk(func):
+        if isinstance(node, (ast.If, ast.While)):
+            if _tests_done_true(node.test):
+                stores_in(node.body)
+            elif _tests_done_false(node.test) and node.orelse:
+                stores_in(node.orelse)
+
+    return hits
+
+
 def _calls_wake_next_round(step: ast.FunctionDef) -> bool:
     for node in ast.walk(step):
         if (
@@ -572,7 +675,7 @@ def _step_is_trivial(step: ast.FunctionDef) -> bool:
 
 
 class _ClassChecker:
-    """Applies rules L1-L6 to one NodeProgram subclass definition."""
+    """Applies rules L1-L6 and L10 to one NodeProgram subclass definition."""
 
     def __init__(
         self,
@@ -580,11 +683,13 @@ class _ClassChecker:
         node: ast.ClassDef,
         findings: List[Finding],
         inherits_always_active: bool = False,
+        inherits_repairable: bool = False,
     ):
         self.module = module
         self.node = node
         self.findings = findings
         self.inherits_always_active = inherits_always_active
+        self.inherits_repairable = inherits_repairable
 
     def report(self, rule: str, at: ast.AST, message: str, method: str = "") -> None:
         line = getattr(at, "lineno", self.node.lineno)
@@ -610,6 +715,8 @@ class _ClassChecker:
                     step = stmt
                 visitor = _MethodVisitor(self, stmt)
                 visitor.visit_FunctionDef(stmt)
+                if isinstance(stmt, ast.FunctionDef):
+                    self._check_halted_writes(stmt)
             elif isinstance(stmt, (ast.Assign, ast.AnnAssign)):
                 value = stmt.value
                 if value is not None and _is_mutable_literal(value):
@@ -626,6 +733,21 @@ class _ClassChecker:
                         "every node instance; initialize it in __init__",
                     )
         self._check_starvation(step)
+
+    def _check_halted_writes(self, func: ast.FunctionDef) -> None:
+        """Rule L10: committed outputs only reopen inside a repair envelope."""
+        if _declares_repairable(self.node) or self.inherits_repairable:
+            return
+        for at, field in _halted_output_writes(func):
+            self.report(
+                "L10",
+                at,
+                f"self.{field} stored under an `if self.done` guard; a "
+                "halted node's outputs are committed -- declare "
+                "repairable = True (the RepairableProgram envelope) if this "
+                "program revises committed outputs under repair",
+                method=func.name,
+            )
 
     def _check_starvation(self, step: Optional[ast.FunctionDef]) -> None:
         """Rule L6: a step that may act on silence needs a declaration."""
@@ -647,12 +769,14 @@ class _ClassChecker:
         )
 
 
-def _always_active_declarers(modules: Sequence[_ModuleInfo]) -> Set[str]:
-    """Class names that declare ``always_active``, own or inherited (by name)."""
+def _declarers(
+    modules: Sequence[_ModuleInfo], declares: "Callable[[ast.ClassDef], bool]"
+) -> Set[str]:
+    """Class names satisfying ``declares``, own or inherited (by name)."""
     declared: Set[str] = set()
     for info in modules:
         for name, node in info.classes.items():
-            if _declares_always_active(node):
+            if declares(node):
                 declared.add(name)
     changed = True
     while changed:
@@ -665,6 +789,16 @@ def _always_active_declarers(modules: Sequence[_ModuleInfo]) -> Set[str]:
     return declared
 
 
+def _always_active_declarers(modules: Sequence[_ModuleInfo]) -> Set[str]:
+    """Class names that declare ``always_active``, own or inherited (by name)."""
+    return _declarers(modules, _declares_always_active)
+
+
+def _repairable_declarers(modules: Sequence[_ModuleInfo]) -> Set[str]:
+    """Class names that declare ``repairable``, own or inherited (by name)."""
+    return _declarers(modules, _declares_repairable)
+
+
 def _analyze_modules(modules: Sequence[_ModuleInfo]) -> List[Finding]:
     # bandwidth imports dataflow which is analyzer-independent; importing
     # here (not at module top) keeps the public import graph acyclic
@@ -672,10 +806,15 @@ def _analyze_modules(modules: Sequence[_ModuleInfo]) -> List[Finding]:
 
     findings: List[Finding] = []
     declarers = _always_active_declarers(modules)
+    repairers = _repairable_declarers(modules)
     for name, definitions in _subclass_closure(modules).items():
         for info, node in definitions:
             _ClassChecker(
-                info, node, findings, inherits_always_active=name in declarers
+                info,
+                node,
+                findings,
+                inherits_always_active=name in declarers,
+                inherits_repairable=name in repairers,
             ).run()
     findings.extend(bandwidth_findings(modules))
     return sort_findings(findings)
@@ -697,7 +836,7 @@ def load_modules(paths: Iterable[Path]) -> List[_ModuleInfo]:
 
 
 def analyze_modules(modules: Sequence[_ModuleInfo]) -> List[Finding]:
-    """Pass two over already-loaded modules (rules L1-L9, sorted findings).
+    """Pass two over already-loaded modules (rules L1-L10, sorted findings).
 
     Separated from :func:`analyze_paths` so a caller holding the modules
     -- e.g. the CLI, which also needs them for the bandwidth certificate

@@ -70,6 +70,20 @@ L9  schedule dependence: message or output content derived from set /
     (``repro lint --sanitize``), which permutes inbox iteration order and
     diffs transcripts.
 
+L10 halted output write: a program stores to an output field
+    (``output``, ``color``, ``in_mis``) inside a branch that is only
+    reached when ``self.done`` is *already* true -- ``if self.done:
+    self.output = ...`` or the ``else`` arm of ``if not self.done``.
+    Setting the output in the same step that sets ``self.done = True``
+    is the normal commit idiom; a done-guarded store instead revises an
+    answer committed in an earlier round, which only the repair protocol
+    may do.  Programs that mean to revise committed outputs must opt in
+    by declaring ``repairable = True`` (the
+    :class:`~repro.localmodel.stabilize.RepairableProgram` envelope
+    idiom), which both exempts them from this rule and tells the
+    network's corruption hook to re-schedule them after state
+    corruption.
+
 Suppression: append ``# repro-lint: disable=L3`` (comma-separate several
 codes, or use ``all``) to the offending line or the line above it; a
 ``# repro-lint: disable-file=L3`` comment before the first statement of a
@@ -157,6 +171,13 @@ RULES: Dict[str, Rule] = {
             "message or output content derived from set/dict iteration "
             "order, next(iter(...)), set.pop(), or float-literal equality; "
             "cross-check dynamically with `repro lint --sanitize`",
+        ),
+        Rule(
+            "L10",
+            "halted-output-write",
+            "output field stored under an `if self.done` guard; a halted "
+            "node's outputs are committed -- declare repairable = True (the "
+            "RepairableProgram envelope) to revise them under repair",
         ),
     )
 }

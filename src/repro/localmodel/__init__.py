@@ -28,11 +28,23 @@
   transcripts and outputs (the dynamic counterpart of lint rule L9).
 * :mod:`repro.localmodel.faults` -- deterministic fault injection:
   seeded :class:`FaultPlan`\\ s (drop / duplicate / delay / burst /
-  crash) consulted by ``SyncNetwork(..., faults=...)`` at delivery time.
+  crash) consulted by ``SyncNetwork(..., faults=...)`` at delivery time,
+  plus transient state corruption (:class:`CorruptSpec`) applied
+  strictly between rounds.
 * :mod:`repro.localmodel.resilience` -- the robustness harness: validity
-  monitors, the :class:`ReliableProgram` retry/ack wrapper, and the
-  :func:`resilience_check` sweep classifying programs as self-healing /
-  degraded-but-valid / unsafe (the ``repro faults`` CLI).
+  monitors (now with the stabilization profile: corruption round,
+  detection latency, recovery rounds), the :class:`ReliableProgram`
+  retry/ack wrapper, and the :func:`resilience_check` sweep classifying
+  programs as self-healing / degraded-but-valid / unsafe (the ``repro
+  faults`` CLI).
+* :mod:`repro.localmodel.stabilize` -- self-stabilizing repair: the
+  :class:`RepairableProgram` envelope verifies committed outputs against
+  the cached 1-ball and re-enters a bounded repair protocol after state
+  corruption (priority recoloring, MIS re-election); see
+  docs/stabilize.md.
+* :mod:`repro.localmodel.chaos` -- the chaos-soak harness: seeded
+  randomized fault plans fuzzed over the stock suite, failing plans
+  delta-debugged to minimal deterministic repro specs (``repro chaos``).
 """
 
 from .colorreduction import (
@@ -49,12 +61,22 @@ from .executor import (
     BatchKernel,
     KernelIneligible,
 )
+from .chaos import (
+    ChaosReport,
+    ChaosTrial,
+    chaos_soak,
+    minimize_plan,
+    random_fault_plan,
+)
 from .faults import (
+    CORRUPT_KINDS,
     MESSAGE_STATUSES,
+    CorruptSpec,
     CrashSpec,
     FaultPlan,
     FaultPlanError,
     FaultRuntime,
+    corrupt_program,
 )
 from .gather import (
     BallGatherProgram,
@@ -65,6 +87,7 @@ from .gather import (
 )
 from .network import (
     DELIVERY_STATUSES,
+    RECOVERY_MODES,
     SCHEDULERS,
     WIRE_STATUSES,
     MessageRecord,
@@ -94,12 +117,23 @@ from .resilience import (
     ReliableProgram,
     ResilienceReport,
     ValidityMonitor,
+    corruption_grid,
     fault_grid,
     independent_set_validator,
+    maximal_independent_set_validator,
     proper_coloring_validator,
     resilience_check,
     stock_validator,
     with_retries,
+)
+from .stabilize import (
+    ColoringRepair,
+    MISRepair,
+    RepairPolicy,
+    RepairableProgram,
+    StabilizationReport,
+    repairable,
+    stabilization_run,
 )
 from .shadow import Divergence, ShadowReport, canonical_transcript, shadow_check
 from .trace import (
@@ -128,17 +162,26 @@ __all__ = [
     "BatchExecutor",
     "BatchKernel",
     "KernelIneligible",
+    "CORRUPT_KINDS",
     "MESSAGE_STATUSES",
+    "ChaosReport",
+    "ChaosTrial",
+    "CorruptSpec",
     "CrashSpec",
     "FaultPlan",
     "FaultPlanError",
     "FaultRuntime",
+    "chaos_soak",
+    "corrupt_program",
+    "minimize_plan",
+    "random_fault_plan",
     "BallGatherProgram",
     "DeltaGatherKernel",
     "DeltaGatherProgram",
     "KnownBall",
     "gather_balls",
     "DELIVERY_STATUSES",
+    "RECOVERY_MODES",
     "SCHEDULERS",
     "WIRE_STATUSES",
     "MessageRecord",
@@ -167,12 +210,21 @@ __all__ = [
     "ReliableProgram",
     "ResilienceReport",
     "ValidityMonitor",
+    "corruption_grid",
     "fault_grid",
     "independent_set_validator",
+    "maximal_independent_set_validator",
     "proper_coloring_validator",
     "resilience_check",
     "stock_validator",
     "with_retries",
+    "ColoringRepair",
+    "MISRepair",
+    "RepairPolicy",
+    "RepairableProgram",
+    "StabilizationReport",
+    "repairable",
+    "stabilization_run",
     "Divergence",
     "ShadowReport",
     "canonical_transcript",

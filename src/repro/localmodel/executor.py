@@ -167,6 +167,12 @@ class BatchExecutor:
         #: which path :meth:`run` actually took: "batch", "node", or None
         #: before any run.
         self.executed: Optional[str] = None
+        #: why :meth:`run` fell back to the per-node path: the joined
+        #: blocker list (auto-mode plan fallback), the kernel's own
+        #: ineligibility message (:class:`KernelIneligible` at run
+        #: time), or None when the batch path ran or ``mode`` forced the
+        #: outcome without a fallback.
+        self.fallback_reason: Optional[str] = None
 
     # ------------------------------------------------------------------
     # dispatch
@@ -243,6 +249,7 @@ class BatchExecutor:
         path, blockers = self.plan()
         if path == "node":
             self.executed = "node"
+            self.fallback_reason = "; ".join(blockers) or None
             return self.network.run(max_rounds=max_rounds)
         if blockers:  # mode == "batch" with unmet requirements
             raise ValueError(
@@ -252,6 +259,7 @@ class BatchExecutor:
         if not net.programs:
             # an empty graph completes in zero rounds on both paths
             self.executed = "batch"
+            self.fallback_reason = None
             return net.outputs()
         kernel_cls = next(iter(net.programs.values())).batch_kernel
         assert kernel_cls is not None  # plan() checked
@@ -263,8 +271,10 @@ class BatchExecutor:
                     f"batch executor cannot run this network: {exc}"
                 ) from exc
             self.executed = "node"
+            self.fallback_reason = str(exc)
             return self.network.run(max_rounds=max_rounds)
         self.executed = "batch"
+        self.fallback_reason = None
         stats = net.stats
         for _round in range(max_rounds):
             if kernel.done:

@@ -468,6 +468,7 @@ def _run_gather(
     sinks: Optional[List[TraceSink]],
     faults: Optional["FaultPlan"],
     executor: str = "auto",
+    info: Optional[Dict[str, Any]] = None,
 ) -> Tuple[Dict[Vertex, KnownBall], int]:
     net = BatchExecutor(
         graph,
@@ -495,6 +496,9 @@ def _run_gather(
     finally:
         if was_enabled:
             gc.enable()
+    if info is not None:
+        info["executed"] = net.executed
+        info["fallback_reason"] = net.fallback_reason
     return outputs, net.stats.rounds
 
 
@@ -508,6 +512,7 @@ def gather_balls(
     sinks: Optional[List[TraceSink]] = None,
     faults: Optional["FaultPlan"] = None,
     executor: str = "auto",
+    info: Optional[Dict[str, Any]] = None,
 ) -> Tuple[Dict[Vertex, KnownBall], int]:
     """Run the gathering protocol; returns per-node balls and rounds used.
 
@@ -521,6 +526,8 @@ def gather_balls(
     :class:`~repro.localmodel.executor.DeltaGatherKernel` whenever the
     run is batch-eligible (no faults, no sinks) and on the per-node
     scheduler otherwise -- outputs and stats are identical either way.
+    A caller-supplied ``info`` dict is populated with the dispatch
+    diagnostics (``executed``, ``fallback_reason``) after the run.
     """
     if radius < 0:
         raise ValueError("radius must be non-negative")
@@ -545,7 +552,7 @@ def gather_balls(
             return DeltaGatherProgram(v, nbrs, radius, state_of.get(v), index)
 
     return _run_gather(
-        graph, radius, factory, sealed, scheduler, sinks, faults, executor
+        graph, radius, factory, sealed, scheduler, sinks, faults, executor, info
     )
 
 

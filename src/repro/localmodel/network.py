@@ -67,6 +67,7 @@ is a thin convenience wrapper over one recording sink; see
 
 from __future__ import annotations
 
+import copy
 import random
 import zlib
 from dataclasses import dataclass, field
@@ -100,12 +101,19 @@ __all__ = [
     "TraceSink",
     "vertex_key",
     "SCHEDULERS",
+    "RECOVERY_MODES",
     "DELIVERY_STATUSES",
     "WIRE_STATUSES",
 ]
 
 #: The recognized scheduling disciplines of :class:`SyncNetwork`.
 SCHEDULERS = ("active", "dense")
+
+#: What a crash-*recover* node resumes from: ``"intact"`` keeps whatever
+#: state the program had when it crashed (the historical semantics),
+#: ``"restart"`` resets it to its round-0 state, ``"checkpoint"``
+#: restores the last snapshot taken at the ``checkpoint_every`` cadence.
+RECOVERY_MODES = ("intact", "restart", "checkpoint")
 
 # ----------------------------------------------------------------------
 # The send-vs-deliver counting contract.
@@ -346,7 +354,24 @@ class SyncNetwork:
     :class:`MessageRecord`\\ s with a non-default ``status`` tag.  An
     empty plan is behavior-preserving -- byte-identical transcripts,
     outputs, and stats versus ``faults=None`` (regression-tested); see
-    :mod:`repro.localmodel.faults` for the guarantees.
+    :mod:`repro.localmodel.faults` for the guarantees.  Corruption
+    schedules (:class:`~repro.localmodel.faults.CorruptSpec`) mutate
+    node state strictly *between* rounds: after the named round's
+    steps, deliveries, and trace sinks, so sinks observe the round as
+    executed and the corrupted state is first visible in the following
+    round.  A corrupted program whose class declares ``repairable =
+    True`` is re-activated -- ``done`` cleared, back on the schedule --
+    so it can detect and repair the damage (see
+    :mod:`repro.localmodel.stabilize`); any other program keeps its
+    completion status and lives with the corruption, which is how
+    unrepaired algorithms end up classified unsafe.
+
+    ``recovery`` picks what a crash-recover node resumes from (one of
+    :data:`RECOVERY_MODES`: state intact, round-0 restart, or last
+    checkpoint); ``checkpoint_every`` enables state snapshots every
+    that-many rounds (required by ``recovery="checkpoint"`` and
+    consumed by :meth:`rollback`).  Both default off and are then
+    behavior-preserving.
 
     ``inbox_order`` is the shadow-execution knob of the determinism
     sanitizer (:mod:`repro.localmodel.shadow`): when set to an integer
@@ -368,6 +393,8 @@ class SyncNetwork:
         sinks: Optional[List[TraceSink]] = None,
         inbox_order: Optional[int] = None,
         faults: Optional["FaultPlan"] = None,
+        recovery: str = "intact",
+        checkpoint_every: Optional[int] = None,
     ):
         """Instantiate one program per vertex and wire up the run machinery.
 
@@ -375,17 +402,34 @@ class SyncNetwork:
         ``sealed`` deep-freezes deliveries, ``scheduler`` picks
         ``"active"``/``"dense"`` stepping, ``sinks`` observe every round,
         ``inbox_order`` permutes inbox iteration (the sanitizer's knob),
-        and ``faults`` attaches a :class:`~repro.localmodel.faults
-        .FaultPlan` consulted at every delivery.
+        ``faults`` attaches a :class:`~repro.localmodel.faults
+        .FaultPlan` consulted at every delivery, ``recovery`` picks the
+        crash-recover resume semantics (:data:`RECOVERY_MODES`), and
+        ``checkpoint_every`` enables periodic state snapshots.
         """
         if scheduler not in SCHEDULERS:
             raise ValueError(
                 f"unknown scheduler {scheduler!r}; expected one of {SCHEDULERS}"
             )
+        if recovery not in RECOVERY_MODES:
+            raise ValueError(
+                f"unknown recovery mode {recovery!r}; "
+                f"expected one of {RECOVERY_MODES}"
+            )
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
+        if recovery == "checkpoint" and checkpoint_every is None:
+            raise ValueError(
+                'recovery="checkpoint" requires checkpoint_every=N'
+            )
         self.graph = graph
         self.sealed = sealed
         self.scheduler = scheduler
         self.inbox_order = inbox_order
+        self.recovery = recovery
+        self.checkpoint_every = checkpoint_every
         self.sinks: List[TraceSink] = list(sinks) if sinks else []
         self.programs: Dict[Vertex, NodeProgram] = {
             v: program_factory(v, sorted(graph.neighbors_view(v))) for v in graph.vertices()
@@ -401,7 +445,29 @@ class SyncNetwork:
                     raise FaultPlanError(
                         f"crash schedule names unknown node {spec.node!r}"
                     )
+            for corrupt in faults.corrupts:
+                if corrupt.node not in self.programs:
+                    raise FaultPlanError(
+                        f"corruption schedule names unknown node "
+                        f"{corrupt.node!r}"
+                    )
             self._fault_runtime = FaultRuntime(faults)
+        #: round-0 snapshots for recovery="restart"; last periodic
+        #: snapshots (round taken, state dict) for checkpointing.  Both
+        #: deep copies: restoring must never alias live state.
+        self._initial: Dict[Vertex, Dict[str, Any]] = (
+            {v: copy.deepcopy(p.__dict__) for v, p in self.programs.items()}
+            if recovery == "restart"
+            else {}
+        )
+        self._checkpoints: Dict[Vertex, Tuple[int, Dict[str, Any]]] = (
+            {
+                v: (-1, copy.deepcopy(p.__dict__))
+                for v, p in self.programs.items()
+            }
+            if checkpoint_every is not None
+            else {}
+        )
         self.stats = RunStats()
         #: canonical stepping order (= vertex insertion order of the graph)
         self._order: Dict[Vertex, int] = {v: i for i, v in enumerate(self.programs)}
@@ -445,7 +511,15 @@ class SyncNetwork:
         than spin forever.
         """
         for _round in range(max_rounds):
-            if self._undone == 0:
+            if self._undone == 0 and not (
+                self._fault_runtime is not None
+                and self._fault_runtime.corruption_pending(self.stats.rounds)
+            ):
+                # A pending corruption keeps a quiesced network ticking
+                # (empty rounds) until it lands: a repairable victim is
+                # then re-activated, an unrepaired one keeps its now-
+                # corrupted output.  Without corruption the exit is the
+                # historical fast path, byte-identical to PR 9.
                 return self.outputs()
             if (
                 self.scheduler == "active"
@@ -535,8 +609,72 @@ class SyncNetwork:
             runtime.crashed.discard(v)
             runtime.recover_events += 1
             program = self.programs[v]
+            if self.recovery == "restart":
+                self._restore_state(v, self._initial[v])
+            elif self.recovery == "checkpoint":
+                self._restore_state(v, self._checkpoints[v][1])
             if not program.done:
                 self._active.add(v)  # wake it so it notices the world moved on
+                if program.always_active:
+                    self._always.add(v)
+
+    def _restore_state(self, v: Vertex, snapshot: Dict[str, Any]) -> None:
+        """Overwrite a program's state with a deep copy of ``snapshot``.
+
+        Keeps the network's completion accounting consistent when the
+        restore flips ``done`` (a node that had finished but is reset to
+        a pre-completion snapshot is running again).
+        """
+        program = self.programs[v]
+        was_done = program.done
+        state = copy.deepcopy(snapshot)
+        program.__dict__.clear()
+        program.__dict__.update(state)
+        program._wake_requested = False
+        if was_done and not program.done:
+            self._undone += 1
+        elif not was_done and program.done:
+            self._undone -= 1
+
+    def _take_checkpoint(self, round_no: int) -> None:
+        """Snapshot every live program's state dict at ``round_no``."""
+        crashed: Set[Vertex] = (
+            self._fault_runtime.crashed if self._fault_runtime is not None else set()
+        )
+        for v, program in self.programs.items():
+            if v in crashed:
+                continue  # a down node keeps its previous checkpoint
+            self._checkpoints[v] = (round_no, copy.deepcopy(program.__dict__))
+
+    def _apply_corruptions(self, round_no: int) -> None:
+        """Fire the corruption events scheduled after ``round_no``.
+
+        Runs at the very end of :meth:`step_round`, after the round's
+        trace sinks: corruption strikes strictly between rounds.  A
+        victim whose program declares ``repairable = True`` is put back
+        on the schedule (``done`` cleared) so it can detect and repair
+        the damage next round; other victims keep their completion
+        status and their now-corrupted state.
+        """
+        from .faults import corrupt_program
+
+        runtime = self._fault_runtime
+        assert runtime is not None
+        assert self.faults is not None
+        for spec in runtime.corruptions_at(round_no):
+            v = spec.node
+            if v in runtime.crashed:
+                continue  # a down node has no state to corrupt
+            program = self.programs[v]
+            if not corrupt_program(program, spec, self.faults.seed):
+                continue
+            runtime.corrupt_events += 1
+            runtime.corruption_rounds.append(round_no)
+            if getattr(program, "repairable", False):
+                if program.done:
+                    program.done = False
+                    self._undone += 1
+                self._active.add(v)
                 if program.always_active:
                     self._always.add(v)
 
@@ -683,6 +821,19 @@ class SyncNetwork:
             for sink in self.sinks:
                 sink.on_round(round_no, records, completed, len(scheduled))
 
+        # Between-round state events, in commit order: the checkpoint
+        # snapshots the round as executed (durable storage writes the
+        # committed state), then corruption strikes -- a transient fault
+        # between rounds never pollutes the checkpoint of the round it
+        # follows.
+        if (
+            self.checkpoint_every is not None
+            and round_no % self.checkpoint_every == 0
+        ):
+            self._take_checkpoint(round_no)
+        if runtime is not None and runtime.has_corruption:
+            self._apply_corruptions(round_no)
+
     def _permuted_inbox(
         self, receiver: Vertex, round_no: int, inbox: Dict[Vertex, Any]
     ) -> Dict[Vertex, Any]:
@@ -707,6 +858,36 @@ class SyncNetwork:
         if self._fault_runtime is None:
             return None
         return self._fault_runtime.summary()
+
+    def rollback(self, node: Optional[Vertex] = None) -> int:
+        """Restore state from the last checkpoint, on demand.
+
+        Restores ``node`` (or every node when ``None``) to its most
+        recent snapshot and reschedules any node the restore made
+        runnable again.  Returns the latest checkpoint round restored
+        (-1 when only the construction-time snapshot exists).  Raises
+        ``ValueError`` unless the network was built with
+        ``checkpoint_every=N``.
+        """
+        if self.checkpoint_every is None:
+            raise ValueError(
+                "rollback() requires checkpointing; construct the network "
+                "with checkpoint_every=N"
+            )
+        if node is not None and node not in self.programs:
+            raise KeyError(f"unknown node {node!r}")
+        targets = [node] if node is not None else list(self.programs)
+        restored = -1
+        for v in targets:
+            round_taken, snapshot = self._checkpoints[v]
+            self._restore_state(v, snapshot)
+            restored = max(restored, round_taken)
+            program = self.programs[v]
+            if not program.done:
+                self._active.add(v)
+                if program.always_active:
+                    self._always.add(v)
+        return restored
 
     def crashed_nodes(self) -> List[Vertex]:
         """The currently crashed nodes, in natural vertex order."""

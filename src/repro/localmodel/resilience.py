@@ -68,9 +68,11 @@ __all__ = [
     "ResilienceReport",
     "resilience_check",
     "fault_grid",
+    "corruption_grid",
     "DEFAULT_FAULT_GRID",
     "proper_coloring_validator",
     "independent_set_validator",
+    "maximal_independent_set_validator",
     "stock_validator",
     "CLASSIFICATIONS",
 ]
@@ -106,6 +108,31 @@ def independent_set_validator(graph: Graph, outputs: Dict[Vertex, Any]) -> List[
         for u in graph.neighbors_view(v):
             if outputs.get(u) and repr(v) < repr(u):
                 problems.append(f"adjacent nodes {v!r} and {u!r} both joined the set")
+    return problems
+
+
+def maximal_independent_set_validator(
+    graph: Graph, outputs: Dict[Vertex, Any]
+) -> List[str]:
+    """Independence plus maximality over fully committed neighborhoods.
+
+    The stabilization experiments need this stronger check: a corrupted
+    member flipped *out* of the set violates nothing the independence
+    validator can see, but it leaves its neighborhood uncovered.  A node
+    counts as uncovered only when it and every neighbor have committed
+    boolean ``False`` -- undecided (``None``) nodes anywhere in the
+    closed neighborhood suppress the check, so a partially completed run
+    under channel faults stays degraded rather than unsafe.
+    """
+    problems = independent_set_validator(graph, outputs)
+    for v, joined in outputs.items():
+        if joined is not False:
+            continue
+        closed = [outputs.get(u) for u in graph.neighbors_view(v)]
+        if all(flag is False for flag in closed):
+            problems.append(
+                f"node {v!r} and its whole neighborhood are outside the set"
+            )
     return problems
 
 
@@ -191,15 +218,19 @@ def stock_validator(kind: str, graph: Graph, root: Optional[Vertex] = None) -> V
     """The safety validator for one stock-program kind.
 
     ``kind`` is one of ``coloring`` (proper coloring), ``mis``
-    (independence), ``bfs`` (needs ``root``), ``leader``, ``echo``,
-    ``gather``.  Validators check *safety* only -- what a partial or
-    degraded output must never violate -- so an incomplete answer under
-    faults is degraded, not unsafe.
+    (independence), ``mis-maximal`` (independence plus maximality over
+    fully committed neighborhoods -- the stabilization invariant),
+    ``bfs`` (needs ``root``), ``leader``, ``echo``, ``gather``.
+    Validators check *safety* only -- what a partial or degraded output
+    must never violate -- so an incomplete answer under faults is
+    degraded, not unsafe.
     """
     if kind == "coloring":
         return proper_coloring_validator
     if kind == "mis":
         return independent_set_validator
+    if kind == "mis-maximal":
+        return maximal_independent_set_validator
     if kind == "bfs":
         if root is None:
             raise ValueError("bfs validator needs the root vertex")
@@ -211,8 +242,8 @@ def stock_validator(kind: str, graph: Graph, root: Optional[Vertex] = None) -> V
     if kind == "gather":
         return _gather_validator
     raise ValueError(
-        f"unknown validator kind {kind!r}; expected coloring/mis/bfs/"
-        "leader/echo/gather"
+        f"unknown validator kind {kind!r}; expected coloring/mis/"
+        "mis-maximal/bfs/leader/echo/gather"
     )
 
 
@@ -230,6 +261,17 @@ class ValidityMonitor(TraceSink):
     were present; :attr:`first_violation_round` is ``None`` for a run
     that never went invalid, which is the fact the resilience
     classification consumes.
+
+    Under state corruption (:class:`~repro.localmodel.faults
+    .CorruptSpec`) the monitor additionally reports the stabilization
+    profile: :attr:`corruption_round` (when the first corruption
+    actually mutated state), :attr:`detection_latency` (rounds from that
+    corruption until the monitor first observed a violation), and
+    :attr:`recovery_rounds` (length of the observed invalid window when
+    the run re-legalized; ``None`` while still invalid).  All three are
+    ``None``/0 in the obvious degenerate cases -- no corruption, no
+    observed violation -- so a fault-free run reads as closure: legal
+    configurations stay legal.
     """
 
     def __init__(self, network: SyncNetwork, validator: Validator):
@@ -237,11 +279,64 @@ class ValidityMonitor(TraceSink):
         self.network = network
         self.validator = validator
         self.violations: List[Tuple[int, List[str]]] = []
+        self.last_round: Optional[int] = None
 
     @property
     def first_violation_round(self) -> Optional[int]:
         """The earliest round with an invariant violation, if any."""
         return self.violations[0][0] if self.violations else None
+
+    @property
+    def corruption_round(self) -> Optional[int]:
+        """The round after which state corruption first struck, if any."""
+        runtime = self.network._fault_runtime
+        if runtime is None or not runtime.corruption_rounds:
+            return None
+        return runtime.corruption_rounds[0]
+
+    @property
+    def detection_latency(self) -> Optional[int]:
+        """Rounds from the first corruption to the first observed violation.
+
+        ``None`` when no corruption struck or no violation was ever
+        observed (an ineffective corruption, or one repaired within the
+        same round it landed).
+        """
+        corrupted = self.corruption_round
+        first = self.first_violation_round
+        if corrupted is None or first is None or first < corrupted:
+            return None
+        return first - corrupted
+
+    @property
+    def recovered(self) -> bool:
+        """True when the final observed round satisfied the invariant."""
+        if self.last_round is None:
+            return not self.violations
+        return not self.violations or self.violations[-1][0] < self.last_round
+
+    @property
+    def recovery_rounds(self) -> Optional[int]:
+        """Length of the observed invalid window, once re-legalized.
+
+        0 when the run never went invalid (closure); ``None`` when the
+        last observed round was still invalid (no convergence).
+        """
+        if not self.violations:
+            return 0
+        if not self.recovered:
+            return None
+        return self.violations[-1][0] - self.violations[0][0] + 1
+
+    def stabilization(self) -> Dict[str, Any]:
+        """The stabilization profile as a JSON-plain dict."""
+        return {
+            "corruption_round": self.corruption_round,
+            "first_violation_round": self.first_violation_round,
+            "detection_latency": self.detection_latency,
+            "recovery_rounds": self.recovery_rounds,
+            "recovered": self.recovered,
+        }
 
     def on_round(
         self,
@@ -251,6 +346,7 @@ class ValidityMonitor(TraceSink):
         active_count: int,
     ) -> None:
         """Validate the tentative outputs as they stand after this round."""
+        self.last_round = round_no
         tentative = {
             v: p.output for v, p in self.network.programs.items()
         }
@@ -440,14 +536,47 @@ def fault_grid(
     drop_rates: Sequence[float] = (0.05, 0.15, 0.3),
     seeds: Sequence[int] = (1, 2),
     burst: Optional[Tuple[int, int]] = (2, 4),
+    extra: Sequence[FaultPlan] = (),
 ) -> Tuple[FaultPlan, ...]:
-    """The default sweep grid: Bernoulli drops crossed with seeds + a burst."""
+    """The default sweep grid: Bernoulli drops crossed with seeds + a burst.
+
+    ``extra`` appends arbitrary additional plans -- the pluggability hook
+    that lets corruption plans (:func:`corruption_grid`) or any
+    hand-built :class:`~repro.localmodel.faults.FaultPlan` join the same
+    classifier loop without copy-pasting it.
+    """
     plans = [
         FaultPlan(seed=seed, drop=rate) for rate in drop_rates for seed in seeds
     ]
     if burst is not None:
         plans.append(FaultPlan(bursts=(burst,)))
+    plans.extend(extra)
     return tuple(plans)
+
+
+def corruption_grid(
+    victims: Sequence[Vertex],
+    rounds: Sequence[int],
+    kinds: Sequence[str] = ("color", "mis", "ball", "scramble"),
+    seed: int = 1,
+) -> Tuple[FaultPlan, ...]:
+    """Single-corruption plans: one per (victim, round, kind) combination.
+
+    Each plan injects exactly one transient :class:`~repro.localmodel
+    .faults.CorruptSpec`, which is the granularity the stabilization
+    table classifies at (one corrupted node, measured recovery).  Feed
+    the result to :func:`resilience_check` directly, or through
+    ``fault_grid(..., extra=...)`` to mix corruption into a channel
+    sweep.
+    """
+    from .faults import CorruptSpec
+
+    return tuple(
+        FaultPlan(seed=seed, corrupts=(CorruptSpec(v, r, kind),))
+        for v in victims
+        for r in rounds
+        for kind in kinds
+    )
 
 
 #: The grid ``repro faults --sweep`` and the F7 experiment run by default.
@@ -497,8 +626,16 @@ def _run_once(
     factory: Callable[[Vertex, List[Vertex]], NodeProgram],
     faults: Optional[FaultPlan],
     max_rounds: int,
+    recovery: str = "intact",
+    checkpoint_every: Optional[int] = None,
 ) -> Tuple[SyncNetwork, Optional[Dict[Vertex, Any]], Optional[str]]:
-    net = SyncNetwork(graph, factory, faults=faults)
+    net = SyncNetwork(
+        graph,
+        factory,
+        faults=faults,
+        recovery=recovery,
+        checkpoint_every=checkpoint_every,
+    )
     try:
         outputs = net.run(max_rounds=max_rounds)
     except RuntimeError as exc:
@@ -514,6 +651,8 @@ def resilience_check(
     validator: Validator,
     grid: Sequence[FaultPlan] = DEFAULT_FAULT_GRID,
     max_rounds: int = 10_000,
+    recovery: str = "intact",
+    checkpoint_every: Optional[int] = None,
 ) -> ResilienceReport:
     """Run one program across a grid of fault plans and classify it.
 
@@ -525,6 +664,12 @@ def resilience_check(
     whole program ``unsafe``.  Analogous to
     :func:`~repro.localmodel.shadow.shadow_check`, and like it requires
     a re-constructible program factory.
+
+    ``grid`` is fully pluggable: any sequence of plans works, including
+    corruption plans from :func:`corruption_grid` or a mixed grid from
+    ``fault_grid(..., extra=...)``.  ``recovery``/``checkpoint_every``
+    pass through to every faulty :class:`~repro.localmodel.network
+    .SyncNetwork` (the baseline always runs fault-free with defaults).
     """
     base_net, baseline, error = _run_once(graph, program_factory, None, max_rounds)
     if error is not None or baseline is None:
@@ -535,7 +680,14 @@ def resilience_check(
 
     report = ResilienceReport(baseline_rounds=baseline_rounds)
     for plan in grid:
-        net, outputs, error = _run_once(graph, program_factory, plan, max_rounds)
+        net, outputs, error = _run_once(
+            graph,
+            program_factory,
+            plan,
+            max_rounds,
+            recovery=recovery,
+            checkpoint_every=checkpoint_every,
+        )
         tentative = {v: p.output for v, p in net.programs.items()}
         problems = validator(graph, tentative)
         complete = outputs is not None

@@ -243,8 +243,15 @@ class TracedNetwork:
         scheduler: str = "active",
         sinks: Optional[List[TraceSink]] = None,
         faults: Optional["FaultPlan"] = None,
+        recovery: str = "intact",
+        checkpoint_every: Optional[int] = None,
     ):
-        """Build the network with a :class:`RecordingSink` ahead of ``sinks``."""
+        """Build the network with a :class:`RecordingSink` ahead of ``sinks``.
+
+        ``recovery``/``checkpoint_every`` pass straight through to
+        :class:`~repro.localmodel.network.SyncNetwork` (crash-recover
+        state policy and checkpoint cadence; see docs/faults.md).
+        """
         self._sink = RecordingSink()
         self.network = SyncNetwork(
             graph,
@@ -253,6 +260,8 @@ class TracedNetwork:
             scheduler=scheduler,
             sinks=[self._sink, *(sinks or [])],
             faults=faults,
+            recovery=recovery,
+            checkpoint_every=checkpoint_every,
         )
 
     @property

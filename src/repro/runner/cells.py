@@ -11,12 +11,14 @@ A *cell* is the atomic unit of work: one (experiment, family, n, seed,
 * **JSON-valued** — payloads survive the disk cache round-trip exactly
   (binary64 floats round-trip through ``json`` bit-for-bit).
 
-The one sanctioned exception to purity is the ``graph_cache_hit``
-diagnostic: the large-instance cells share a per-worker graph cache
-(:func:`_cached_graph`), and each payload records whether its instance
-was rebuilt or reused.  The flag reaches the per-cell JSONL log only —
-no render consumes it — so reports stay byte-identical across ``--jobs``
-counts and cache states.
+The one sanctioned exception to purity is the diagnostics family: the
+``graph_cache_hit`` flag (the large-instance cells share a per-worker
+graph cache, :func:`_cached_graph`, and each payload records whether
+its instance was rebuilt or reused) and the executor ``fallback_reason``
+(why a D1/K2 run left the batch path, verbatim from
+:class:`~repro.localmodel.executor.BatchExecutor`).  Both reach the
+per-cell JSONL log only — no render consumes them — so reports stay
+byte-identical across ``--jobs`` counts and cache states.
 
 The reduction from cell payloads back to EXPERIMENTS.md rows lives in
 :mod:`repro.runner.registry`; it replicates the fold order of
@@ -71,6 +73,8 @@ __all__ = [
     "c1_cell",
     "d1_cell",
     "f7_cell",
+    "s1_cell",
+    "s1_chaos_cell",
 ]
 
 
@@ -304,6 +308,7 @@ def k2_cell(
         "sampled": len(sampled),
         "agree": agree,
         "graph_cache_hit": cache_hit,
+        "fallback_reason": net.fallback_reason,
     }
 
 
@@ -596,7 +601,10 @@ def d1_cell(
         raise ValueError(f"unknown D1 family {family!r}")
     g, cache_hit = _cached_graph(family, n, seed)
     params = _d1_params(pipeline)
-    balls, rounds = gather_balls(g, params.collect_radius, executor=executor)
+    info: Dict[str, Any] = {}
+    balls, rounds = gather_balls(
+        g, params.collect_radius, executor=executor, info=info
+    )
     verts = sorted(g.vertices())
     step = max(1, len(verts) // sample)
     sampled = verts[::step][:sample]
@@ -617,7 +625,9 @@ def d1_cell(
         "agree": agree,
         "joined": joined,
         "executor": executor,
+        "path": info.get("executed"),
         "graph_cache_hit": cache_hit,
+        "fallback_reason": info.get("fallback_reason"),
     }
 
 
@@ -697,4 +707,164 @@ def f7_cell(program: str, drop: float, retry: bool, n: int, seed: int) -> Dict[s
         "runs": len(report.outcomes),
         "completed": sum(1 for o in report.outcomes if o.complete),
         "valid": sum(1 for o in report.outcomes if o.valid),
+    }
+
+
+def _s1_instance(program: str, n: int, seed: int, repaired: bool):
+    """(graph, factory, validator, flip kind) for one S1 stabilization cell.
+
+    ``program`` is ``coloring`` (randomized Delta+1) or ``mis`` (Luby).
+    The repaired variants wrap the same seeded inner factory in the
+    :class:`~repro.localmodel.stabilize.RepairableProgram` envelope with
+    the matching policy; MIS is validated against the *maximality*-aware
+    invariant, since a member flipped out of the set is invisible to the
+    independence-only check.
+    """
+    from ..localmodel import (
+        ColoringRepair,
+        MISRepair,
+        maximal_independent_set_validator,
+        proper_coloring_validator,
+        repairable,
+    )
+
+    inner_name = "coloring" if program == "coloring" else "luby"
+    _cls, g, inner = _c1_instance(inner_name, n, seed)
+    if program == "coloring":
+        validator = proper_coloring_validator
+        palette = g.max_degree() + 1
+        policy = lambda: ColoringRepair(palette, first_color=1)  # noqa: E731
+        flip = "color"
+    elif program == "mis":
+        validator = maximal_independent_set_validator
+        policy = MISRepair
+        flip = "mis"
+    else:
+        raise ValueError(f"unknown S1 program {program!r}")
+    factory = repairable(inner, policy) if repaired else inner
+    return g, factory, validator, flip
+
+
+def _s1_violating_flip(g, outputs, flip: str, corrupt_round: int):
+    """A (victim, corrupt seed) whose flip provably violates the invariant.
+
+    The corruption kinds are seeded value shifts, so a color flip can
+    land on a free color and change nothing the invariant sees; the
+    pinned stabilization table wants the adversarial case, so this scans
+    victims (largest key first) and seeds for a flip that collides with
+    a neighbor.  The probe must use the real ``corrupt_round`` -- the
+    corruption stream is keyed on it.  The MIS flip is a deterministic
+    negation -- flipping the largest-key member out always breaks
+    maximality.
+    """
+    from ..localmodel import CorruptSpec, corrupt_program, vertex_key
+
+    if flip == "mis":
+        members = sorted(
+            (v for v, joined in outputs.items() if joined is True),
+            key=vertex_key,
+        )
+        return members[-1], 1
+
+    class _Probe:
+        pass
+
+    for v in sorted(g.vertices(), key=vertex_key, reverse=True):
+        neighbor_colors = {outputs[u] for u in g.neighbors_view(v)}
+        for cseed in range(1, 65):
+            probe = _Probe()
+            probe.output = outputs[v]
+            corrupt_program(probe, CorruptSpec(v, corrupt_round, "color"), cseed)
+            if probe.output in neighbor_colors:
+                return v, cseed
+    raise RuntimeError("no conflicting color flip found in 64 seeds")
+
+
+def s1_cell(program: str, repaired: bool, kind: str, n: int, seed: int) -> Dict[str, Any]:
+    """S1: one single-node corruption against one (un)repaired program.
+
+    Runs the fault-free baseline, schedules one
+    :class:`~repro.localmodel.faults.CorruptSpec` two rounds past
+    quiescence (the hardest case: every node already halted), and
+    returns the :func:`~repro.localmodel.stabilize.stabilization_run`
+    profile.  ``kind`` is ``flip`` (an output flip chosen to provably
+    violate the invariant, see ``_s1_violating_flip``) or ``scramble``
+    (a seeded arbitrary field scramble, reported as measured).
+    """
+    from ..localmodel import (
+        CorruptSpec,
+        FaultPlan,
+        SyncNetwork,
+        stabilization_run,
+        vertex_key,
+    )
+
+    g, factory, validator, flip = _s1_instance(program, n, seed, repaired)
+    net = SyncNetwork(g, factory)
+    outputs = net.run(max_rounds=4_000)
+    corrupt_round = net.stats.rounds + 2
+    if kind == "flip":
+        victim, cseed = _s1_violating_flip(g, outputs, flip, corrupt_round)
+        spec = CorruptSpec(victim, corrupt_round, flip)
+    elif kind == "scramble":
+        victim, cseed = max(g.vertices(), key=vertex_key), 7
+        spec = CorruptSpec(victim, corrupt_round, "scramble")
+    else:
+        raise ValueError(f"unknown S1 corruption kind {kind!r}")
+    plan = FaultPlan(seed=cseed, corrupts=(spec,))
+    report = stabilization_run(g, factory, validator, plan, max_rounds=4_000)
+    return {
+        "program": program,
+        "repaired": repaired,
+        "kind": kind,
+        "n": len(g),
+        "victim": str(victim),
+        "plan": plan.spec(),
+        **report.as_dict(),
+    }
+
+
+def s1_chaos_cell(program: str, trials: int, seed: int, n: int) -> Dict[str, Any]:
+    """S1: a seeded chaos soak of one stock program, repro-gated.
+
+    Fuzzes ``trials`` randomized fault plans (channel + corruption) at
+    the program and reports the failure/minimization accounting; the
+    render asserts every failure carries a minimized spec that
+    reproduces (``all_reproduce``), which is what makes chaos findings
+    actionable.
+    """
+    from ..localmodel import stock_validator, vertex_key
+    from ..localmodel.chaos import chaos_soak
+
+    _cls, g, factory = _c1_instance(program, n, seed)
+    kind = {
+        "bfs": "bfs", "leader": "leader", "echo": "echo", "gather": "gather",
+        "luby": "mis", "coloring": "coloring", "linial": "coloring",
+    }[program]
+    root = None
+    if kind == "bfs":
+        root = min(
+            g.vertices(),
+            key=lambda v: (-len(list(g.neighbors_view(v))), vertex_key(v)),
+        )
+    validator = stock_validator(kind, g, root=root)
+    report = chaos_soak(
+        [(program, g, factory, validator)],
+        trials=trials,
+        seed=seed,
+        max_rounds=4_000,
+    )
+    summary = report.summary()
+    failures = report.failures()
+    return {
+        "program": program,
+        "n": len(g),
+        "trials": summary["trials"],
+        "failures": summary["failures"],
+        "by_kind": summary["by_kind"],
+        "minimized": summary["minimized"],
+        "reproduced": summary["reproduced"],
+        "all_reproduce": all(t.reproduces for t in failures),
+        "executor": report.executors.get(program, {}),
+        "specs": [t.minimized for t in failures],
     }

@@ -210,6 +210,48 @@ def _plan_f7(programs=F7_PROGRAMS, drops=(0.1, 0.3), n=16, seed=0):
     ]
 
 
+#: the S1 stabilization matrix: repaired vs plain under state corruption
+S1_PROGRAMS = ("coloring", "mis")
+
+#: the S1 chaos-soak programs: one per output invariant class
+S1_CHAOS_PROGRAMS = ("bfs", "coloring", "luby")
+
+
+def _plan_s1(
+    programs=S1_PROGRAMS,
+    kinds=("flip", "scramble"),
+    chaos_programs=S1_CHAOS_PROGRAMS,
+    trials=8,
+    n=14,
+    seed=0,
+):
+    cells = [
+        CellSpec(
+            "S1",
+            "s1_cell",
+            {
+                "program": p,
+                "repaired": repaired,
+                "kind": kind,
+                "n": n,
+                "seed": seed,
+            },
+        )
+        for p in programs
+        for repaired in (False, True)
+        for kind in kinds
+    ]
+    cells.extend(
+        CellSpec(
+            "S1",
+            "s1_chaos_cell",
+            {"program": p, "trials": trials, "seed": seed, "n": n},
+        )
+        for p in chaos_programs
+    )
+    return cells
+
+
 #: the D1 sweep: message-level pipelines on large instances
 D1_PIPELINES = ("mvc", "mis")
 
@@ -628,6 +670,52 @@ def _render_f7(specs, values):
     )
 
 
+def _render_s1(specs, values):
+    def fmt(value):
+        return "-" if value is None else value
+
+    rows = []
+    stab = [(s, v) for s, v in zip(specs, values) if s.fn == "s1_cell"]
+    for (program, repaired), cells in _groups(
+        [s for s, _ in stab],
+        [v for _, v in stab],
+        lambda s: (s.params["program"], s.params["repaired"]),
+    ):
+        for spec, val in cells:
+            rows.append((
+                program,
+                "yes" if repaired else "no",
+                spec.params["kind"],
+                val["classification"],
+                fmt(val["detection_latency"]),
+                fmt(val["recovery_rounds"]),
+                val["repairs"],
+            ))
+    table = format_table(
+        ["program", "repaired", "corruption", "classification",
+         "detect", "recovery rounds", "repairs"],
+        rows,
+    )
+    chaos_lines = []
+    for spec, val in zip(specs, values):
+        if spec.fn != "s1_chaos_cell" or val is None:
+            continue
+        chaos_lines.append(
+            f"- chaos soak {val['program']}: {val['failures']} failure(s) in "
+            f"{val['trials']} trials, minimized specs reproduce: "
+            f"{'yes' if val['all_reproduce'] else 'NO'}"
+        )
+    return (
+        "(one transient corruption of a quiesced node; `flip` provably"
+        " violates the invariant, `scramble` is an arbitrary seeded field"
+        " scramble; `detect`/`recovery rounds` from the validity monitor,"
+        " `-` = the corruption landed after the last monitored round)\n\n"
+        + table
+        + "\n\n"
+        + "\n".join(chaos_lines)
+    )
+
+
 def _render_k1(specs, values):
     rows = [
         (
@@ -842,6 +930,24 @@ REGISTRY: Dict[str, Experiment] = {
             _plan_f7,
             _render_f7,
             {"programs": F7_PROGRAMS, "drops": (0.1, 0.3), "n": 16},
+        ),
+        Experiment(
+            "S1",
+            "Self-stabilization: repair under state corruption + chaos soak",
+            (
+                "repro.localmodel",
+                "repro.baselines",
+                "repro.graphs.generators",
+            ),
+            _plan_s1,
+            _render_s1,
+            {
+                "programs": S1_PROGRAMS,
+                "kinds": ("flip", "scramble"),
+                "chaos_programs": S1_CHAOS_PROGRAMS,
+                "trials": 8,
+                "n": 14,
+            },
         ),
     ]
 }

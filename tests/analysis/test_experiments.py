@@ -86,7 +86,7 @@ class TestReport:
     def test_registry_complete(self):
         assert set(EXPERIMENTS) == {
             "T3", "T4", "T5/T6", "T7/T8", "T9", "L6", "B1", "F1-F6", "X1",
-            "A1-A3", "K1", "C1", "D1", "K2", "F7",
+            "A1-A3", "K1", "C1", "D1", "K2", "F7", "S1",
         }
 
     def test_subset_run(self):

@@ -374,6 +374,124 @@ class TestL6Starvation:
         assert rules_of(src) == []
 
 
+class TestL10HaltedOutputWrite:
+    def test_done_guarded_output_store_fires(self):
+        src = """
+            class P(NodeProgram):
+                always_active = True
+                def step(self, ctx):
+                    if self.done:
+                        self.output = 1
+                        return {}
+                    self.done = True
+                    return {}
+        """
+        findings = lint(src)
+        assert [f.rule for f in findings] == ["L10"]
+        assert findings[0].symbol == "P.step"
+
+    def test_all_output_aliases_fire(self):
+        src = """
+            class P(NodeProgram):
+                always_active = True
+                def step(self, ctx):
+                    if self.done:
+                        self.color = 2
+                        self.in_mis = False
+                    self.done = True
+                    return {}
+        """
+        assert [f.rule for f in lint(src)] == ["L10", "L10"]
+
+    def test_negated_guard_else_arm_fires(self):
+        src = """
+            class P(NodeProgram):
+                always_active = True
+                def step(self, ctx):
+                    if not self.done:
+                        self.done = True
+                    else:
+                        self.output = 9
+                    return {}
+        """
+        assert rules_of(src) == ["L10"]
+
+    def test_compound_and_guard_fires(self):
+        src = """
+            class P(NodeProgram):
+                always_active = True
+                def step(self, ctx):
+                    if self.done and ctx.round_number > 4:
+                        self.output = ctx.round_number
+                    self.done = True
+                    return {}
+        """
+        assert rules_of(src) == ["L10"]
+
+    def test_commit_idiom_is_fine(self):
+        src = """
+            class P(NodeProgram):
+                always_active = True
+                def step(self, ctx):
+                    self.done = True
+                    self.output = 7
+                    return {}
+        """
+        assert rules_of(src) == []
+
+    def test_done_guarded_early_return_is_fine(self):
+        src = """
+            class P(NodeProgram):
+                always_active = True
+                def step(self, ctx):
+                    if self.done:
+                        return {}
+                    self.output = 7
+                    self.done = True
+                    return {}
+        """
+        assert rules_of(src) == []
+
+    def test_repairable_declaration_exempts(self):
+        src = """
+            class P(NodeProgram):
+                always_active = True
+                repairable = True
+                def step(self, ctx):
+                    if self.done:
+                        self.output = 1
+                    return {}
+        """
+        assert rules_of(src) == []
+
+    def test_inherited_repairable_counts(self):
+        src = """
+            class Envelope(NodeProgram):
+                always_active = True
+                repairable = True
+            class Leaf(Envelope):
+                def step(self, ctx):
+                    if self.done:
+                        self.output = 1
+                    self.done = True
+                    return {}
+        """
+        assert rules_of(src) == []
+
+    def test_non_output_field_is_fine(self):
+        src = """
+            class P(NodeProgram):
+                always_active = True
+                def step(self, ctx):
+                    if self.done:
+                        self.heartbeat = ctx.round_number
+                        self.wake_next_round()
+                    self.done = True
+                    return {}
+        """
+        assert rules_of(src) == []
+
+
 class TestSubclassClosure:
     def test_indirect_subclass_is_analyzed(self):
         src = """
@@ -490,7 +608,7 @@ class TestReporting:
     def test_normalize_codes(self):
         assert normalize_codes("l1, L3") == frozenset({"L1", "L3"})
         assert normalize_codes("all") == frozenset(
-            {"L1", "L2", "L3", "L4", "L5", "L6", "L7", "L8", "L9"}
+            {"L1", "L2", "L3", "L4", "L5", "L6", "L7", "L8", "L9", "L10"}
         )
         with pytest.raises(ValueError):
             normalize_codes("L42")

@@ -1,0 +1,159 @@
+"""Checkpoint/rollback and the crash-recover resume semantics."""
+
+import pytest
+
+from repro.graphs import path_graph
+from repro.localmodel import (
+    RECOVERY_MODES,
+    FaultPlan,
+    NodeProgram,
+    SyncNetwork,
+)
+from repro.localmodel.programs import BFSLayerProgram
+
+
+def bfs_factory(root=0, budget=12):
+    return lambda v, nbrs: BFSLayerProgram(v, nbrs, root, budget)
+
+
+class CountdownProgram(NodeProgram):
+    """Counts its own steps and halts at a target -- pure internal progress.
+
+    Crash-recover semantics are visible in how much progress survives
+    the outage: ``intact`` keeps the counter, ``restart`` zeroes it,
+    ``checkpoint`` rewinds it to the last snapshot.
+    """
+
+    always_active = True
+
+    def __init__(self, node, neighbors, target=6):
+        super().__init__(node, neighbors)
+        self.target = target
+        self.count = 0
+
+    def step(self, ctx):
+        self.count += 1
+        if self.count >= self.target:
+            self.output = self.count
+            self.done = True
+        return {}
+
+
+def countdown_factory(target=6):
+    return lambda v, nbrs: CountdownProgram(v, nbrs, target)
+
+
+class TestConstructionValidation:
+    def test_recovery_modes_constant(self):
+        assert RECOVERY_MODES == ("intact", "restart", "checkpoint")
+
+    def test_unknown_recovery_rejected(self):
+        with pytest.raises(ValueError, match="recovery"):
+            SyncNetwork(path_graph(3), bfs_factory(), recovery="hope")
+
+    def test_checkpoint_every_must_be_positive(self):
+        with pytest.raises(ValueError, match="checkpoint_every"):
+            SyncNetwork(path_graph(3), bfs_factory(), checkpoint_every=0)
+
+    def test_checkpoint_recovery_requires_cadence(self):
+        with pytest.raises(ValueError, match="checkpoint_every"):
+            SyncNetwork(path_graph(3), bfs_factory(), recovery="checkpoint")
+
+
+class TestRecoveryModes:
+    def _run(self, recovery, checkpoint_every=None, crash="crash=1@2-4"):
+        net = SyncNetwork(
+            path_graph(3),
+            countdown_factory(target=6),
+            faults=FaultPlan.parse(crash),
+            recovery=recovery,
+            checkpoint_every=checkpoint_every,
+        )
+        outputs = net.run(max_rounds=200)
+        return net, outputs
+
+    def test_intact_resumes_with_state(self):
+        # rounds 0,1 counted, down rounds 2,3, resumes at 4 with count=2
+        net, outputs = self._run("intact")
+        assert outputs[1] == 6
+        assert net.stats.rounds == 8  # 2 pre-crash + 2 down + 4 to finish
+
+    def test_restart_resets_to_round_zero_state(self):
+        net, outputs = self._run("restart")
+        assert outputs[1] == 6
+        # the survivor halts at round 6; the victim restarts from count=0
+        # at round 4 and needs 6 more rounds
+        assert net.stats.rounds == 10
+
+    def test_checkpoint_cadence_one_resumes_near_crash(self):
+        net, outputs = self._run("checkpoint", checkpoint_every=1)
+        assert outputs[1] == 6
+        # cadence 1 snapshots after round 1 (count=2): barely any rework
+        assert net.stats.rounds == 8
+
+    def test_checkpoint_beats_restart(self):
+        _, _ = self._run("checkpoint", checkpoint_every=1)
+        restart_net, _ = self._run("restart")
+        checkpoint_net, _ = self._run("checkpoint", checkpoint_every=1)
+        assert checkpoint_net.stats.rounds < restart_net.stats.rounds
+
+    def test_sparse_cadence_rewinds_further(self):
+        dense_net, _ = self._run("checkpoint", checkpoint_every=1)
+        sparse_net, _ = self._run("checkpoint", checkpoint_every=5)
+        # cadence 5 last snapshotted at round 0: more rework than cadence 1
+        assert sparse_net.stats.rounds > dense_net.stats.rounds
+
+    def test_modes_off_by_default_are_behavior_preserving(self):
+        bare = SyncNetwork(path_graph(3), countdown_factory())
+        bare_out = bare.run()
+        explicit = SyncNetwork(
+            path_graph(3),
+            countdown_factory(),
+            recovery="intact",
+            checkpoint_every=None,
+        )
+        assert explicit.run() == bare_out
+        assert explicit.stats == bare.stats
+
+    def test_checkpointing_without_crash_changes_nothing(self):
+        bare = SyncNetwork(path_graph(3), countdown_factory())
+        bare_out = bare.run()
+        snap = SyncNetwork(path_graph(3), countdown_factory(), checkpoint_every=1)
+        assert snap.run() == bare_out
+        assert snap.stats == bare.stats
+
+
+class TestRollback:
+    def test_rollback_requires_checkpointing(self):
+        net = SyncNetwork(path_graph(3), countdown_factory())
+        with pytest.raises(ValueError, match="checkpoint_every"):
+            net.rollback()
+
+    def test_rollback_unknown_node(self):
+        net = SyncNetwork(path_graph(3), countdown_factory(), checkpoint_every=1)
+        with pytest.raises(KeyError):
+            net.rollback(99)
+
+    def test_rollback_before_any_round_restores_initial_state(self):
+        net = SyncNetwork(path_graph(3), countdown_factory(), checkpoint_every=1)
+        net.programs[0].count = 99
+        assert net.rollback(0) == -1  # construction-time snapshot
+        assert net.programs[0].count == 0
+
+    def test_rollback_restores_last_snapshot_and_reschedules(self):
+        net = SyncNetwork(path_graph(3), countdown_factory(target=4), checkpoint_every=1)
+        outputs = net.run(max_rounds=50)
+        assert all(v == 4 for v in outputs.values())
+        restored = net.rollback()
+        # the final checkpoint caught the programs mid-run or at the
+        # finish line; a rolled-back network can run to completion again
+        assert restored >= 0
+        assert net.run(max_rounds=50) == outputs
+
+    def test_single_node_rollback_leaves_others_alone(self):
+        net = SyncNetwork(path_graph(3), countdown_factory(target=4), checkpoint_every=2)
+        net.run(max_rounds=50)
+        before = {v: p.count for v, p in net.programs.items()}
+        net.rollback(1)
+        assert net.programs[0].count == before[0]
+        assert net.programs[2].count == before[2]

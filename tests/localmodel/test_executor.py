@@ -394,6 +394,64 @@ class TestEdgeCases:
         assert EXECUTORS == ("node", "batch", "auto")
 
 
+class TestFallbackReason:
+    """The diagnostic recording *why* a run left the batch path."""
+
+    def test_none_before_any_run(self):
+        g = path_graph(4)
+        ex = BatchExecutor(g, gather_factory(g, 1), mode="auto")
+        assert ex.fallback_reason is None
+
+    def test_batch_path_leaves_reason_none(self):
+        g = path_graph(4)
+        ex = BatchExecutor(g, gather_factory(g, 1), mode="auto")
+        ex.run(max_rounds=3)
+        assert ex.executed == "batch"
+        assert ex.fallback_reason is None
+
+    def test_auto_fallback_records_joined_blockers(self):
+        g = path_graph(4)
+        ex = BatchExecutor(
+            g,
+            gather_factory(g, 1),
+            faults=FaultPlan(drop=0.5, seed=1),
+            sinks=[MetricsSink()],
+            mode="auto",
+        )
+        ex.run(max_rounds=4)
+        assert ex.executed == "node"
+        assert "fault plan is non-empty" in ex.fallback_reason
+        assert "trace sinks" in ex.fallback_reason
+
+    def test_kernel_less_fallback_names_the_class(self):
+        g = path_graph(4)
+        ex = BatchExecutor(
+            g, lambda v, nbrs: _KernelLessProgram(v, nbrs), mode="auto"
+        )
+        ex.run(max_rounds=2)
+        assert "_KernelLessProgram declares no batch kernel" in ex.fallback_reason
+
+    def test_forced_node_mode_is_not_a_fallback(self):
+        g = path_graph(4)
+        ex = BatchExecutor(g, gather_factory(g, 1), mode="node")
+        ex.run(max_rounds=3)
+        assert ex.executed == "node"
+        assert ex.fallback_reason is None
+
+    def test_kernel_ineligibility_message_recorded(self):
+        # mismatched id bounds make the Linial kernel refuse at compile
+        # time; auto mode records the KernelIneligible text verbatim
+        g = path_graph(6)
+        ex = BatchExecutor(
+            g,
+            lambda v, nbrs: LinialPathProgram(v, nbrs, 30 if v % 2 else 5000),
+            mode="auto",
+        )
+        ex.run()
+        assert ex.executed == "node"
+        assert "disagree on the id bound" in ex.fallback_reason
+
+
 class _KernelLessProgram(NodeProgram):
     """A trivial program with no batch kernel (fallback-path probe)."""
 

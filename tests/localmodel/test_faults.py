@@ -145,7 +145,8 @@ class TestEmptyPlanIdentity:
         summary = net.fault_summary()
         assert summary == {
             "dropped": 0, "delayed": 0, "duplicated": 0,
-            "crash_events": 0, "recover_events": 0, "still_crashed": 0,
+            "crash_events": 0, "recover_events": 0, "corrupt_events": 0,
+            "still_crashed": 0,
         }
 
 

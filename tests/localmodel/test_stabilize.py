@@ -1,0 +1,232 @@
+"""The self-stabilizing repair layer: policies, the envelope, and
+measured recovery under state corruption."""
+
+import random
+
+import pytest
+
+from repro.baselines.coloring_baselines import RandomizedColoringProgram
+from repro.baselines.luby import LubyMISProgram
+from repro.graphs import path_graph, random_chordal_graph
+from repro.localmodel import (
+    ColoringRepair,
+    CorruptSpec,
+    FaultPlan,
+    MISRepair,
+    RepairableProgram,
+    SyncNetwork,
+    maximal_independent_set_validator,
+    proper_coloring_validator,
+    repairable,
+    stabilization_run,
+    vertex_key,
+)
+
+
+def coloring_inner(palette_size):
+    return lambda v, nbrs: RandomizedColoringProgram(
+        v, nbrs, palette_size, random.Random(1_000 + int(v))
+    )
+
+
+def mis_inner():
+    return lambda v, nbrs: LubyMISProgram(v, nbrs, random.Random(2_000 + int(v)))
+
+
+class TestColoringRepairPolicy:
+    def setup_method(self):
+        self.policy = ColoringRepair(palette_size=4, first_color=1)
+
+    def test_palette_size_validated(self):
+        with pytest.raises(ValueError):
+            ColoringRepair(0)
+
+    def test_check_flags_conflict_and_out_of_palette(self):
+        nbrs = {10: 2, 11: 3}
+        assert self.policy.check(5, 2, nbrs)        # shared with 10
+        assert self.policy.check(5, 0, nbrs)        # below first_color
+        assert self.policy.check(5, 5, nbrs)        # past the palette
+        assert self.policy.check(5, None, nbrs)     # missing
+        assert self.policy.check(5, True, nbrs)     # bool is not a color
+        assert not self.policy.check(5, 1, nbrs)
+
+    def test_yield_only_to_larger_key_partners(self):
+        assert self.policy.should_yield(5, 2, {10: 2})       # 10 moves first
+        assert not self.policy.should_yield(10, 2, {5: 2})   # 10 is largest
+        # a palette violation is the node's own to fix, never yielded
+        assert not self.policy.should_yield(5, 0, {10: 2})
+
+    def test_repair_picks_smallest_free_color(self):
+        assert self.policy.repair(5, 2, {10: 2, 11: 1}) == 3
+        # the current color is excluded even when no neighbor holds it
+        assert self.policy.repair(5, 1, {10: 3}) == 2
+
+
+class TestMISRepairPolicy:
+    def setup_method(self):
+        self.policy = MISRepair()
+
+    def test_check_flags_clash_and_uncovered(self):
+        assert self.policy.check(5, True, {10: True})    # adjacent members
+        assert self.policy.check(5, False, {10: False})  # uncovered
+        assert self.policy.check(5, None, {10: True})    # missing flag
+        assert not self.policy.check(5, True, {10: False})
+        assert not self.policy.check(5, False, {10: True})
+
+    def test_member_yields_to_larger_key_member(self):
+        assert self.policy.should_yield(5, True, {10: True})
+        assert not self.policy.should_yield(10, True, {5: True})
+        assert not self.policy.should_yield(5, False, {10: False})
+
+    def test_repair_reelects_locally(self):
+        assert self.policy.repair(5, False, {10: False}) is True
+        assert self.policy.repair(5, True, {10: True}) is False
+
+
+class TestEnvelopeConstruction:
+    def test_parameter_validation(self):
+        factory = mis_inner()
+        with pytest.raises(ValueError):
+            RepairableProgram(0, [1], factory, MISRepair(), quiet_rounds=0)
+        with pytest.raises(ValueError):
+            RepairableProgram(0, [1], factory, MISRepair(), repair_budget=-1)
+        with pytest.raises(ValueError):
+            RepairableProgram(0, [1], factory, MISRepair(), patience=0)
+
+    def test_marker_attributes(self):
+        program = RepairableProgram(0, [1], mis_inner(), MISRepair())
+        assert program.repairable is True
+        assert program.always_active is True
+
+
+class TestFaultFreeEquivalence:
+    def test_wrapped_coloring_matches_unwrapped_outputs(self):
+        g = random_chordal_graph(12, seed=5)
+        palette = g.max_degree() + 1
+        plain = SyncNetwork(g, coloring_inner(palette))
+        plain_out = plain.run(max_rounds=2_000)
+        wrapped = SyncNetwork(
+            g,
+            repairable(coloring_inner(palette), lambda: ColoringRepair(palette, 1)),
+        )
+        wrapped_out = wrapped.run(max_rounds=2_000)
+        assert wrapped_out == plain_out
+        assert proper_coloring_validator(g, wrapped_out) == []
+
+    def test_wrapped_mis_matches_unwrapped_outputs(self):
+        g = path_graph(8)
+        plain = SyncNetwork(g, mis_inner())
+        plain_out = plain.run(max_rounds=2_000)
+        wrapped = SyncNetwork(g, repairable(mis_inner(), MISRepair))
+        wrapped_out = wrapped.run(max_rounds=2_000)
+        assert wrapped_out == plain_out
+        assert maximal_independent_set_validator(g, wrapped_out) == []
+
+
+def _mis_flip_plan(g, factory, slack=2, seed=1):
+    """A corruption flipping the largest-key MIS member after quiescence."""
+    base = SyncNetwork(g, factory)
+    outputs = base.run(max_rounds=2_000)
+    victim = max((v for v, m in outputs.items() if m is True), key=vertex_key)
+    corrupt_round = base.stats.rounds + slack
+    return FaultPlan(seed=seed, corrupts=(CorruptSpec(victim, corrupt_round, "mis"),))
+
+
+class TestStabilizationRun:
+    def test_empty_plan_is_self_healing_and_matches_baseline(self):
+        g = path_graph(6)
+        report = stabilization_run(
+            g, mis_inner(), maximal_independent_set_validator, FaultPlan()
+        )
+        assert report.classification == "self-healing"
+        assert report.matches_baseline
+        assert report.corruption_round is None
+        assert report.repairs == 0
+
+    def test_unrepaired_mis_flip_is_unsafe(self):
+        g = path_graph(6)
+        plan = _mis_flip_plan(g, mis_inner())
+        report = stabilization_run(
+            g, mis_inner(), maximal_independent_set_validator, plan
+        )
+        assert report.classification == "unsafe"
+        assert report.problems
+
+    def test_repaired_mis_flip_self_heals_in_constant_rounds(self):
+        g = path_graph(6)
+        factory = repairable(mis_inner(), MISRepair)
+        plan = _mis_flip_plan(g, factory)
+        report = stabilization_run(
+            g, factory, maximal_independent_set_validator, plan
+        )
+        assert report.classification == "self-healing"
+        assert report.recovered
+        assert report.detection_latency == 1
+        assert report.recovery_rounds == 1
+        assert report.repairs >= 1
+        assert report.injected["corrupt_events"] == 1
+
+    def test_zero_budget_gives_up_loudly(self):
+        g = path_graph(6)
+        factory = repairable(mis_inner(), MISRepair, repair_budget=0)
+        plan = _mis_flip_plan(g, factory)
+        report = stabilization_run(
+            g, factory, maximal_independent_set_validator, plan
+        )
+        assert report.classification == "unsafe"
+        assert report.repairs == 0
+        assert report.complete  # halted, not spinning
+
+    def test_corruption_before_any_output_is_harmless(self):
+        # a "mis" flip at round 0 finds no boolean output to negate:
+        # no corrupt event fires and the run matches the baseline
+        g = path_graph(6)
+        factory = repairable(mis_inner(), MISRepair)
+        base = SyncNetwork(g, factory)
+        base.run(max_rounds=2_000)
+        victim = max(g.vertices(), key=vertex_key)
+        plan = FaultPlan(seed=1, corrupts=(CorruptSpec(victim, 0, "mis"),))
+        report = stabilization_run(
+            g, factory, maximal_independent_set_validator, plan
+        )
+        assert report.classification == "self-healing"
+        assert report.injected["corrupt_events"] == 0
+        assert report.matches_baseline
+
+    def test_crash_during_own_repair_still_converges(self):
+        # the victim is corrupted, wakes to repair, crashes mid-repair,
+        # recovers with state intact, and finishes the job
+        g = path_graph(6)
+        factory = repairable(mis_inner(), MISRepair)
+        plan = _mis_flip_plan(g, factory)
+        corrupt_round = plan.corrupts[0].round_no
+        victim = plan.corrupts[0].node
+        import dataclasses
+
+        from repro.localmodel import CrashSpec
+
+        plan = dataclasses.replace(
+            plan,
+            crashes=(
+                CrashSpec(victim, corrupt_round + 1, corrupt_round + 3),
+            ),
+        )
+        report = stabilization_run(
+            g, factory, maximal_independent_set_validator, plan
+        )
+        assert report.classification == "self-healing"
+        assert report.valid
+        assert report.injected["crash_events"] == 1
+        assert report.injected["recover_events"] == 1
+
+    def test_corruption_of_halted_repairable_node_reopens_it(self):
+        g = path_graph(6)
+        factory = repairable(mis_inner(), MISRepair)
+        plan = _mis_flip_plan(g, factory)
+        net = SyncNetwork(g, factory, faults=plan)
+        outputs = net.run(max_rounds=2_000)
+        victim = plan.corrupts[0].node
+        # the victim was re-activated, repaired, and halted again
+        assert net.programs[victim].done
+        assert net.programs[victim].repairs >= 1
+        assert maximal_independent_set_validator(g, outputs) == []

@@ -19,7 +19,7 @@ class TestIds:
     def test_registry_covers_experiments_md(self):
         assert experiment_ids() == [
             "T3", "T4", "T5/T6", "T7/T8", "T9", "L6", "B1", "F1-F6", "X1",
-            "A1-A3", "K1", "C1", "D1", "K2", "F7",
+            "A1-A3", "K1", "C1", "D1", "K2", "F7", "S1",
         ]
 
     def test_empty_selection_means_everything(self):

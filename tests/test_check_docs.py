@@ -34,18 +34,18 @@ class TestExtractors:
             "| T4 | Theorem 4 |\n"
             "| A1–A3 | ablations |\n"
             "| Graph substrate | not an id |\n"
-            "| S1 | bench-only, allowlisted |\n"
+            "| S0 | bench-only, allowlisted |\n"
         )
         assert check_docs.experiment_ids_in_design_md(text) == ["T4", "A1-A3"]
 
     def test_bench_only_ids_are_excluded_everywhere(self):
-        text = "## S1 — substrate microbenchmarks\n"
+        text = "## S0 — substrate microbenchmarks\n"
         assert check_docs.experiment_ids_in_experiments_md(text) == []
 
     def test_cli_subcommands_match_parser(self):
         assert check_docs.cli_subcommands() == [
-            "color", "faults", "generate", "info", "lint", "mis", "report",
-            "run", "trace",
+            "chaos", "color", "faults", "generate", "info", "lint", "mis",
+            "report", "run", "trace",
         ]
 
     def test_package_inventory(self):

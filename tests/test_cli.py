@@ -299,7 +299,7 @@ class TestTraceFaultsFlag:
 
 class TestFaultsCommand:
     def test_requires_graph_or_sweep(self):
-        with pytest.raises(SystemExit, match="GRAPH file or use --sweep"):
+        with pytest.raises(SystemExit, match="GRAPH file or use --stock / --sweep"):
             run_cli(["faults"])
 
     def test_single_run_clean_plan(self, tree_file):
@@ -399,3 +399,89 @@ class TestFaultsCommand:
         assert by_name["leader"] == "self-healing"
         assert by_name["echo"] == "self-healing"
         assert by_name["coloring"] == "unsafe"
+
+    def test_stock_replays_a_chaos_spec(self):
+        # the environment every `repro chaos` repro line refers to: the
+        # stock sweep graph + seeded factory, no GRAPH file needed
+        code, out = run_cli(
+            ["faults", "--stock", "--program", "coloring",
+             "--plan", "corrupt=7@8:color,seed=2", "--max-rounds", "500"]
+        )
+        assert code == 1
+        assert "output validity: VIOLATED" in out
+
+    def test_stock_checkpoint_recovery_flags(self):
+        code, out = run_cli(
+            ["faults", "--stock", "--program", "bfs",
+             "--plan", "crash=3@1-3,seed=1", "--recovery", "checkpoint",
+             "--checkpoint-every", "1", "--max-rounds", "500"]
+        )
+        assert code == 0
+        assert "output validity: OK" in out
+
+    def test_checkpoint_recovery_requires_cadence(self, tree_file):
+        with pytest.raises(SystemExit, match="checkpoint_every"):
+            run_cli(["faults", tree_file, "--recovery", "checkpoint"])
+
+
+class TestChaosCommand:
+    def test_quick_soak_text_output(self):
+        code, out = run_cli(["chaos", "--trials", "3", "--quick"])
+        assert code == 0
+        assert "chaos soak: 3 trials over 3 programs" in out
+        for name in ("bfs", "coloring", "luby"):
+            assert name in out
+        assert "failures:" in out and "reproduced:" in out
+
+    def test_failures_print_a_replay_line(self):
+        code, out = run_cli(
+            ["chaos", "--trials", "6", "--quick", "--programs", "coloring"]
+        )
+        assert code == 0
+        if "failures: 0" not in out:
+            assert "replay: repro faults --stock --program coloring" in out
+            assert "minimized (reproduces):" in out
+
+    def test_json_payload_schema(self):
+        code, out = run_cli(
+            ["chaos", "--trials", "4", "--quick", "--format", "json"]
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert set(payload) == {"summary", "executors", "trials"}
+        assert payload["summary"]["trials"] == 4
+        assert len(payload["trials"]) == 4
+        for t in payload["trials"]:
+            assert set(t) >= {"program", "trial", "plan", "kind", "minimized"}
+        for diag in payload["executors"].values():
+            assert diag["executed"] == "node"
+            assert "fault plan is non-empty" in diag["fallback_reason"]
+
+    def test_soak_replays_bit_for_bit(self):
+        runs = [
+            run_cli(["chaos", "--trials", "5", "--quick", "--format", "json"])
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+
+    def test_check_passes_when_failures_reproduce(self):
+        code, out = run_cli(["chaos", "--trials", "6", "--quick", "--check"])
+        assert code == 0
+        assert "lack a reproducing minimized spec" not in out
+
+    def test_no_minimize_skips_delta_debugging(self):
+        code, out = run_cli(
+            ["chaos", "--trials", "6", "--quick", "--no-minimize",
+             "--format", "json"]
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert all(t["minimized"] is None for t in payload["trials"])
+
+    def test_unknown_program_aborts_cleanly(self):
+        with pytest.raises(SystemExit, match="unknown chaos programs"):
+            run_cli(["chaos", "--programs", "wibble"])
+
+    def test_trials_must_be_positive(self):
+        with pytest.raises(SystemExit, match="--trials"):
+            run_cli(["chaos", "--trials", "0"])

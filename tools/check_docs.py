@@ -26,9 +26,15 @@ instructions can never silently rot:
   (``GraphIndex``, the ``graph_index`` version-keyed cache, the bitset
   cutoff, ``bench_kernels`` / ``BENCH_kernels.json``);
 * ``docs/faults.md`` must exist and document the fault-injection and
-  resilience surface (``FaultPlan``, the plan grammar, the three
-  classifications, ``ReliableProgram``, ``resilience_check``,
-  ``repro faults``, ``BENCH_faults.json``);
+  resilience surface (``FaultPlan``, the plan grammar including
+  ``corrupt=``, the three classifications, ``ReliableProgram``,
+  ``resilience_check``, ``repro faults``, the ``--recovery`` /
+  ``--checkpoint-every`` knobs, ``BENCH_faults.json``);
+* ``docs/stabilize.md`` must exist and document the self-stabilization
+  surface (``RepairableProgram``, the repair policies,
+  ``stabilization_run``, ``CorruptSpec``, the chaos soak and its
+  minimize/reproduce gate, ``repro chaos``, the recovery modes,
+  ``BENCH_chaos.json``);
 * ``docs/gather.md`` must exist and document the ball-gathering surface
   (``KnownBall``, the delta/reference program pair, the counting
   contract's status sets, ``bench_network`` / ``BENCH_network.json``);
@@ -75,7 +81,7 @@ def experiment_ids_in_experiments_md(text: str) -> List[str]:
 #: ids whose reproduction is a pytest-benchmark target only (DESIGN.md's
 #: substrate microbenchmarks) — they have no table to regenerate, so they
 #: are legitimately absent from the runner registry.
-BENCH_ONLY_IDS = {"S1"}
+BENCH_ONLY_IDS = {"S0"}
 
 
 def experiment_ids_in_design_md(text: str) -> List[str]:
@@ -246,12 +252,45 @@ def check(root: Path) -> List[str]:
             "ValidityMonitor",
             "repro faults",
             "--faults",
+            "corrupt=",
+            "--recovery",
+            "--checkpoint-every",
+            "--stock",
             "BENCH_faults.json",
         ):
             if term not in text:
                 problems.append(
                     f"docs/faults.md: {term!r} is never mentioned (the "
                     "fault/resilience surface must stay documented)"
+                )
+
+    stabilize_doc = root / "docs" / "stabilize.md"
+    if not stabilize_doc.is_file():
+        problems.append("docs/stabilize.md: file missing")
+    else:
+        text = stabilize_doc.read_text()
+        for term in (
+            "RepairableProgram",
+            "ColoringRepair",
+            "MISRepair",
+            "stabilization_run",
+            "CorruptSpec",
+            "CORRUPT_KINDS",
+            "detection_latency",
+            "recovery_rounds",
+            "chaos_soak",
+            "minimize_plan",
+            "repro chaos",
+            "--check",
+            "RECOVERY_MODES",
+            "checkpoint_every",
+            "rollback",
+            "BENCH_chaos.json",
+        ):
+            if term not in text:
+                problems.append(
+                    f"docs/stabilize.md: {term!r} is never mentioned (the "
+                    "self-stabilization surface must stay documented)"
                 )
 
     gather_doc = root / "docs" / "gather.md"
